@@ -1,0 +1,342 @@
+// Benchmark harness reproducing the paper's evaluation artifacts (see
+// DESIGN.md §4 and EXPERIMENTS.md): one benchmark per Table 1 row, the
+// reduction rows, the static-recompute baselines the rows are compared
+// against, the §8 entropy ablation, and the Figure 1/2 tours. Custom
+// metrics report the three DMPC complexity measures per update:
+// rounds/update, machines/round (worst), words/round (worst).
+package dmpc
+
+import (
+	"math/rand"
+	"testing"
+
+	"dmpc/internal/core/amm"
+	"dmpc/internal/core/dmm"
+	"dmpc/internal/core/dyncon"
+	"dmpc/internal/core/reduction"
+	"dmpc/internal/etour"
+	"dmpc/internal/graph"
+	"dmpc/internal/mpc"
+	"dmpc/internal/seqdyn"
+	"dmpc/internal/staticmpc"
+)
+
+const (
+	benchN      = 96
+	benchCap    = 600
+	benchStream = 400
+)
+
+func benchStreamUpdates(seed int64) []graph.Update {
+	rng := rand.New(rand.NewSource(seed))
+	return graph.RandomStream(benchN, benchStream, 0.55, 50, rng)
+}
+
+type statsAgg struct {
+	updates int
+	rounds  int
+	active  int
+	words   int
+}
+
+func (a *statsAgg) add(st mpc.UpdateStats) {
+	a.updates++
+	a.rounds += st.Rounds
+	if st.MaxActive > a.active {
+		a.active = st.MaxActive
+	}
+	if st.MaxWords > a.words {
+		a.words = st.MaxWords
+	}
+}
+
+func (a *statsAgg) report(b *testing.B) {
+	if a.updates == 0 {
+		return
+	}
+	b.ReportMetric(float64(a.rounds)/float64(a.updates), "rounds/update")
+	b.ReportMetric(float64(a.active), "machines/round(max)")
+	b.ReportMetric(float64(a.words), "words/round(max)")
+}
+
+// BenchmarkTable1MaximalMatching reproduces Table 1 row 1 (§3): O(1)
+// rounds, O(1) active machines, O(√N) words per round, worst case.
+func BenchmarkTable1MaximalMatching(b *testing.B) {
+	var agg statsAgg
+	for i := 0; i < b.N; i++ {
+		m := dmm.New(dmm.Config{N: benchN, CapEdges: benchCap})
+		for _, up := range benchStreamUpdates(1) {
+			var st mpc.UpdateStats
+			if up.Op == graph.Insert {
+				st = m.Insert(up.U, up.V)
+			} else {
+				st = m.Delete(up.U, up.V)
+			}
+			agg.add(st)
+		}
+	}
+	agg.report(b)
+}
+
+// BenchmarkTable1ThreeHalves reproduces Table 1 row 2 (§4): O(1) rounds,
+// O(n/√N) machines, O(√N) words.
+func BenchmarkTable1ThreeHalves(b *testing.B) {
+	var agg statsAgg
+	for i := 0; i < b.N; i++ {
+		m := dmm.New(dmm.Config{N: benchN, CapEdges: benchCap, ThreeHalves: true})
+		for _, up := range benchStreamUpdates(2) {
+			var st mpc.UpdateStats
+			if up.Op == graph.Insert {
+				st = m.Insert(up.U, up.V)
+			} else {
+				st = m.Delete(up.U, up.V)
+			}
+			agg.add(st)
+		}
+	}
+	agg.report(b)
+}
+
+// BenchmarkTable1TwoPlusEps reproduces Table 1 row 3 (§6): O(1) rounds,
+// Õ(1) machines, Õ(1) words.
+func BenchmarkTable1TwoPlusEps(b *testing.B) {
+	var agg statsAgg
+	for i := 0; i < b.N; i++ {
+		m := amm.New(amm.Config{N: benchN, Seed: 3})
+		for _, up := range benchStreamUpdates(3) {
+			var st mpc.UpdateStats
+			if up.Op == graph.Insert {
+				st = m.Insert(up.U, up.V)
+			} else {
+				st = m.Delete(up.U, up.V)
+			}
+			agg.add(st)
+		}
+	}
+	agg.report(b)
+}
+
+// BenchmarkTable1ConnComp reproduces Table 1 row 4 (§5): O(1) rounds,
+// O(√N) machines, O(√N) words.
+func BenchmarkTable1ConnComp(b *testing.B) {
+	var agg statsAgg
+	for i := 0; i < b.N; i++ {
+		d := dyncon.New(dyncon.Config{N: benchN, Mode: dyncon.CC, ExpectedEdges: benchCap})
+		for _, up := range benchStreamUpdates(4) {
+			var st mpc.UpdateStats
+			if up.Op == graph.Insert {
+				st = d.Insert(up.U, up.V, 1)
+			} else {
+				st = d.Delete(up.U, up.V)
+			}
+			agg.add(st)
+		}
+	}
+	agg.report(b)
+}
+
+// BenchmarkTable1MST reproduces Table 1 row 5 (§5.1): O(1) rounds, O(√N)
+// machines, O(√N) words; approximation from the (1+ε) bucketing.
+func BenchmarkTable1MST(b *testing.B) {
+	var agg statsAgg
+	for i := 0; i < b.N; i++ {
+		d := dyncon.New(dyncon.Config{N: benchN, Mode: dyncon.MST, Eps: 0.25, ExpectedEdges: benchCap})
+		for _, up := range benchStreamUpdates(5) {
+			var st mpc.UpdateStats
+			if up.Op == graph.Insert {
+				st = d.Insert(up.U, up.V, up.W)
+			} else {
+				st = d.Delete(up.U, up.V)
+			}
+			agg.add(st)
+		}
+	}
+	agg.report(b)
+}
+
+// BenchmarkReductionConnectivity reproduces the Table 1 reduction row for
+// connected components: Õ(1) amortized rounds via HDT, O(1) machines, O(1)
+// words per round (Lemma 7.1).
+func BenchmarkReductionConnectivity(b *testing.B) {
+	var agg statsAgg
+	for i := 0; i < b.N; i++ {
+		sim := reduction.NewSim(8, 1<<17)
+		w := reduction.NewWrapped(sim, reduction.HDTTarget{H: seqdyn.NewHDT(benchN)})
+		for _, up := range benchStreamUpdates(6) {
+			agg.add(w.Update(up))
+		}
+	}
+	agg.report(b)
+}
+
+// BenchmarkReductionMatching reproduces the reduction row for maximal
+// matching (Neiman–Solomon substitute, see DESIGN.md).
+func BenchmarkReductionMatching(b *testing.B) {
+	var agg statsAgg
+	for i := 0; i < b.N; i++ {
+		sim := reduction.NewSim(8, 1<<17)
+		w := reduction.NewWrapped(sim, reduction.NSMatchTarget{M: seqdyn.NewNSMatch(benchN, benchCap)})
+		for _, up := range benchStreamUpdates(7) {
+			agg.add(w.Update(up))
+		}
+	}
+	agg.report(b)
+}
+
+// BenchmarkReductionMST reproduces the reduction row for minimum spanning
+// trees.
+func BenchmarkReductionMST(b *testing.B) {
+	var agg statsAgg
+	for i := 0; i < b.N; i++ {
+		sim := reduction.NewSim(8, 1<<17)
+		w := reduction.NewWrapped(sim, reduction.MSFTarget{F: seqdyn.NewDynMSF(benchN)})
+		for _, up := range benchStreamUpdates(8) {
+			agg.add(w.Update(up))
+		}
+	}
+	agg.report(b)
+}
+
+// BenchmarkStaticRecomputeCC is the baseline the §5 row is compared
+// against: recomputing components from scratch after every update costs
+// O(log n) rounds with all machines active and Ω(N) communication.
+func BenchmarkStaticRecomputeCC(b *testing.B) {
+	updates := benchStreamUpdates(9)
+	var rounds, words, active, runs int
+	for i := 0; i < b.N; i++ {
+		g := graph.New(benchN)
+		for s, up := range updates {
+			g.Apply(up)
+			if s%20 != 0 {
+				continue // recompute periodically; per-update would dwarf the bench
+			}
+			_, res := staticmpc.ConnectedComponents(g, 0, 0)
+			rounds += res.Rounds
+			words += res.MaxWords
+			if res.MaxActive > active {
+				active = res.MaxActive
+			}
+			runs++
+		}
+	}
+	if runs > 0 {
+		b.ReportMetric(float64(rounds)/float64(runs), "rounds/recompute")
+		b.ReportMetric(float64(active), "machines/round(max)")
+		b.ReportMetric(float64(words)/float64(runs), "words/round(mean-max)")
+	}
+}
+
+// BenchmarkStaticRecomputeMatching is the static matching baseline
+// (randomized proposals, O(log n) rounds).
+func BenchmarkStaticRecomputeMatching(b *testing.B) {
+	updates := benchStreamUpdates(10)
+	var rounds, runs int
+	for i := 0; i < b.N; i++ {
+		g := graph.New(benchN)
+		for s, up := range updates {
+			g.Apply(up)
+			if s%20 != 0 {
+				continue
+			}
+			_, res := staticmpc.MaximalMatching(g, 0, 0, int64(s))
+			rounds += res.Rounds
+			runs++
+		}
+	}
+	if runs > 0 {
+		b.ReportMetric(float64(rounds)/float64(runs), "rounds/recompute")
+	}
+}
+
+// BenchmarkStaticRecomputeMSF is the static MST baseline (filtering).
+func BenchmarkStaticRecomputeMSF(b *testing.B) {
+	updates := benchStreamUpdates(11)
+	var rounds, runs int
+	for i := 0; i < b.N; i++ {
+		g := graph.New(benchN)
+		for s, up := range updates {
+			g.Apply(up)
+			if s%20 != 0 {
+				continue
+			}
+			_, res := staticmpc.MinSpanningForest(g, 8)
+			rounds += res.Rounds
+			runs++
+		}
+	}
+	if runs > 0 {
+		b.ReportMetric(float64(rounds)/float64(runs), "rounds/recompute")
+	}
+}
+
+// BenchmarkAblationEntropy quantifies §8's communication-entropy metric:
+// the coordinator-based §3 algorithm concentrates traffic (low entropy)
+// while the broadcast-based §5 algorithm spreads it (high entropy).
+func BenchmarkAblationEntropy(b *testing.B) {
+	var coordinated, broadcast float64
+	for i := 0; i < b.N; i++ {
+		m := dmm.New(dmm.Config{N: benchN, CapEdges: benchCap})
+		d := dyncon.New(dyncon.Config{N: benchN, Mode: dyncon.CC, ExpectedEdges: benchCap})
+		for _, up := range benchStreamUpdates(12) {
+			if up.Op == graph.Insert {
+				m.Insert(up.U, up.V)
+				d.Insert(up.U, up.V, 1)
+			} else {
+				m.Delete(up.U, up.V)
+				d.Delete(up.U, up.V)
+			}
+		}
+		coordinated = m.Cluster().CommEntropy()
+		broadcast = d.Cluster().CommEntropy()
+	}
+	b.ReportMetric(coordinated, "entropy-coordinator(bits)")
+	b.ReportMetric(broadcast, "entropy-broadcast(bits)")
+}
+
+// BenchmarkFigure12EulerTours regenerates the tours of Figures 1 and 2
+// via the index-arithmetic forest (correctness is pinned in the etour
+// tests; this measures the op cost).
+func BenchmarkFigure12EulerTours(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fo := etour.NewForest(7)
+		fo.BuildFromTree(map[int][]int{1: {2, 4}, 2: {1, 3}, 3: {2}, 4: {1}}, 1)
+		fo.BuildFromTree(map[int][]int{0: {5}, 5: {0, 6}, 6: {5}}, 0)
+		fo.Link(6, 4) // Figure 1(iii): insert (e,g)
+		fo.Cut(6, 4)
+		fo.Link(0, 1)
+		fo.Cut(0, 1) // Figure 2(iii): delete (a,b)
+	}
+}
+
+// BenchmarkScalingCommPerRound verifies the O(√N) communication shape of
+// the §5 row: quadrupling N should roughly double worst-case words per
+// round. The two metrics let the ratio be read off directly.
+func BenchmarkScalingCommPerRound(b *testing.B) {
+	measure := func(n int) float64 {
+		d := dyncon.New(dyncon.Config{N: n, Mode: dyncon.CC, ExpectedEdges: 4 * n})
+		rng := rand.New(rand.NewSource(13))
+		worst := 0
+		for _, up := range graph.RandomStream(n, 200, 0.55, 1, rng) {
+			var st mpc.UpdateStats
+			if up.Op == graph.Insert {
+				st = d.Insert(up.U, up.V, 1)
+			} else {
+				st = d.Delete(up.U, up.V)
+			}
+			if st.MaxWords > worst {
+				worst = st.MaxWords
+			}
+		}
+		return float64(worst)
+	}
+	var small, big float64
+	for i := 0; i < b.N; i++ {
+		small = measure(64)
+		big = measure(256)
+	}
+	b.ReportMetric(small, "words/round(N=64)")
+	b.ReportMetric(big, "words/round(N=256)")
+	if small > 0 {
+		b.ReportMetric(big/small, "growth-per-4x-input")
+	}
+}

@@ -1,0 +1,91 @@
+// Command etourfig regenerates Figures 1 and 2 of the paper: the Euler
+// tours before and after a reroot, an edge insertion and an edge deletion,
+// with the [first,last] appearance brackets. The sequences are produced by
+// the same index-arithmetic engine the dynamic connectivity algorithm
+// runs on (internal/etour) and are pinned byte-exactly in that package's
+// tests.
+//
+// Usage:
+//
+//	etourfig            # both figures
+//	etourfig -figure 1  # only Figure 1
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"dmpc/internal/etour"
+)
+
+const (
+	vA = iota
+	vB
+	vC
+	vD
+	vE
+	vF
+	vG
+)
+
+var names = []string{"a", "b", "c", "d", "e", "f", "g"}
+
+func printState(label string, fo *etour.Forest, reps []int) {
+	fmt.Printf("%s\n", label)
+	for i, r := range reps {
+		tour := fo.TourOf(r)
+		if tour.Len() == 0 {
+			continue
+		}
+		fmt.Printf("  Euler tour %d: %s\n", i+1, tour.Render(names))
+		var vs []int
+		for v := 0; v < 7; v++ {
+			if fo.Comp(v) == fo.Comp(r) {
+				vs = append(vs, v)
+			}
+		}
+		fmt.Printf("  brackets:     %s\n", tour.Brackets(vs, names))
+	}
+	fmt.Println()
+}
+
+func figure1() {
+	fmt.Println("=== Figure 1: reroot and insert ===")
+	fo := etour.NewForest(7)
+	fo.BuildFromTree(map[int][]int{vB: {vC, vE}, vC: {vB, vD}, vD: {vC}, vE: {vB}}, vB)
+	fo.BuildFromTree(map[int][]int{vA: {vF}, vF: {vA, vG}, vG: {vF}}, vA)
+	printState("(i) a forest of two trees:", fo, []int{vB, vA})
+
+	fo.Reroot(vE)
+	printState("(ii) after setting e to be the root of its tree:", fo, []int{vB, vA})
+
+	fo2 := etour.NewForest(7)
+	fo2.BuildFromTree(map[int][]int{vB: {vC, vE}, vC: {vB, vD}, vD: {vC}, vE: {vB}}, vB)
+	fo2.BuildFromTree(map[int][]int{vA: {vF}, vF: {vA, vG}, vG: {vF}}, vA)
+	fo2.Link(vG, vE)
+	printState("(iii) after the insertion of the edge (e,g):", fo2, []int{vA})
+}
+
+func figure2() {
+	fmt.Println("=== Figure 2: delete ===")
+	fo := etour.NewForest(7)
+	fo.BuildFromTree(map[int][]int{
+		vA: {vB, vF}, vB: {vA, vC, vE}, vC: {vB, vD}, vD: {vC}, vE: {vB},
+		vF: {vA, vG}, vG: {vF},
+	}, vA)
+	printState("(i) a tree and its E-tour:", fo, []int{vA})
+
+	fo.Cut(vA, vB)
+	printState("(iii) after the deletion of the edge (a,b):", fo, []int{vB, vA})
+}
+
+func main() {
+	fig := flag.Int("figure", 0, "which figure to print (1 or 2; 0 = both)")
+	flag.Parse()
+	if *fig == 0 || *fig == 1 {
+		figure1()
+	}
+	if *fig == 0 || *fig == 2 {
+		figure2()
+	}
+}

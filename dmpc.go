@@ -1,0 +1,154 @@
+// Package dmpc is the public facade of this repository: a from-scratch Go
+// reproduction of "Dynamic Algorithms for the Massively Parallel
+// Computation Model" (Italiano, Lattanzi, Mirrokni, Parotsidis — SPAA
+// 2019, arXiv:1905.09175).
+//
+// The DMPC model extends MPC to dynamic inputs: a cluster of µ machines
+// with O(√N) words of memory each processes edge insertions and deletions,
+// and an algorithm is charged per update for (i) rounds, (ii) active
+// machines per round and (iii) communicated words per round. This package
+// re-exports the simulated cluster and the paper's five dynamic algorithms
+// plus the §7 reduction:
+//
+//   - NewMaximalMatching (§3): O(1) rounds, O(1) machines, O(√N) words.
+//   - NewThreeHalvesMatching (§4): 3/2-approximate, O(n/√N) machines.
+//   - NewConnectivity / NewMST (§5, §5.1): Euler-tour connectivity and
+//     (1+ε)-MST, O(1) rounds, O(√N) machines and words.
+//   - NewAlmostMaximalMatching (§6): (2+ε)-approximate, Õ(1) machines
+//     and words.
+//   - reduction.NewSim (§7): run any sequential dynamic algorithm in
+//     O(u(N)) rounds on O(1) machines.
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// reproduction of the paper's Table 1 and Figures 1-2.
+package dmpc
+
+import (
+	"dmpc/internal/core/amm"
+	"dmpc/internal/core/dmm"
+	"dmpc/internal/core/dyncon"
+	"dmpc/internal/graph"
+	"dmpc/internal/mpc"
+)
+
+// Re-exported building blocks.
+type (
+	// Graph is the dynamic graph used to describe workloads.
+	Graph = graph.Graph
+	// Update is one edge insertion or deletion.
+	Update = graph.Update
+	// Weight is an edge weight.
+	Weight = graph.Weight
+	// UpdateStats is the per-update DMPC accounting: rounds, active
+	// machines per round, words per round.
+	UpdateStats = mpc.UpdateStats
+	// Cluster is the simulated DMPC cluster.
+	Cluster = mpc.Cluster
+)
+
+// Operation kinds for Update.Op.
+const (
+	Insert = graph.Insert
+	Delete = graph.Delete
+)
+
+// NewGraph returns an empty dynamic graph on n vertices.
+func NewGraph(n int) *Graph { return graph.New(n) }
+
+// Connectivity maintains the connected components of a dynamic graph (§5).
+type Connectivity struct{ d *dyncon.D }
+
+// NewConnectivity builds a fully-dynamic connected-components structure on
+// n vertices, sized for expectedEdges simultaneous edges (0 = default).
+func NewConnectivity(n, expectedEdges int) *Connectivity {
+	return &Connectivity{d: dyncon.New(dyncon.Config{N: n, Mode: dyncon.CC, ExpectedEdges: expectedEdges})}
+}
+
+// Insert adds an edge, returning the update's accounting.
+func (c *Connectivity) Insert(u, v int) UpdateStats { return c.d.Insert(u, v, 1) }
+
+// Delete removes an edge.
+func (c *Connectivity) Delete(u, v int) UpdateStats { return c.d.Delete(u, v) }
+
+// Connected answers a connectivity query through the cluster.
+func (c *Connectivity) Connected(u, v int) bool { return c.d.Connected(u, v) }
+
+// ComponentOf returns v's component label.
+func (c *Connectivity) ComponentOf(v int) int64 { return c.d.CompOf(v) }
+
+// Cluster exposes the underlying cluster accounting.
+func (c *Connectivity) Cluster() *Cluster { return c.d.Cluster() }
+
+// MST maintains a (1+ε)-approximate minimum spanning forest (§5.1); eps 0
+// maintains an exact MSF.
+type MST struct{ d *dyncon.D }
+
+// NewMST builds a fully-dynamic MSF structure.
+func NewMST(n int, eps float64, expectedEdges int) *MST {
+	return &MST{d: dyncon.New(dyncon.Config{N: n, Mode: dyncon.MST, Eps: eps, ExpectedEdges: expectedEdges})}
+}
+
+// Insert adds a weighted edge.
+func (m *MST) Insert(u, v int, w Weight) UpdateStats { return m.d.Insert(u, v, w) }
+
+// Delete removes an edge.
+func (m *MST) Delete(u, v int) UpdateStats { return m.d.Delete(u, v) }
+
+// Weight returns the maintained forest's total (bucketed) weight.
+func (m *MST) Weight() Weight { return m.d.ForestWeight() }
+
+// ForestEdges returns the maintained forest.
+func (m *MST) ForestEdges() []graph.WEdge { return m.d.ForestEdges() }
+
+// Connected answers connectivity through the cluster.
+func (m *MST) Connected(u, v int) bool { return m.d.Connected(u, v) }
+
+// Cluster exposes the underlying cluster accounting.
+func (m *MST) Cluster() *Cluster { return m.d.Cluster() }
+
+// MaximalMatching maintains a maximal matching (§3).
+type MaximalMatching struct{ m *dmm.M }
+
+// NewMaximalMatching builds the §3 structure for n vertices and at most
+// capEdges simultaneous edges.
+func NewMaximalMatching(n, capEdges int) *MaximalMatching {
+	return &MaximalMatching{m: dmm.New(dmm.Config{N: n, CapEdges: capEdges})}
+}
+
+// NewThreeHalvesMatching builds the §4 structure: a 3/2-approximate
+// maximum matching (the graph must start empty, which it does).
+func NewThreeHalvesMatching(n, capEdges int) *MaximalMatching {
+	return &MaximalMatching{m: dmm.New(dmm.Config{N: n, CapEdges: capEdges, ThreeHalves: true})}
+}
+
+// Insert adds an edge.
+func (mm *MaximalMatching) Insert(u, v int) UpdateStats { return mm.m.Insert(u, v) }
+
+// Delete removes an edge.
+func (mm *MaximalMatching) Delete(u, v int) UpdateStats { return mm.m.Delete(u, v) }
+
+// MateTable returns the current matching as a mate table (-1 = free).
+func (mm *MaximalMatching) MateTable() []int { return mm.m.MateTable() }
+
+// Cluster exposes the underlying cluster accounting.
+func (mm *MaximalMatching) Cluster() *Cluster { return mm.m.Cluster() }
+
+// AlmostMaximalMatching maintains a (2+ε)-approximate matching (§6).
+type AlmostMaximalMatching struct{ m *amm.M }
+
+// NewAlmostMaximalMatching builds the §6 structure.
+func NewAlmostMaximalMatching(n int, eps float64, seed int64) *AlmostMaximalMatching {
+	return &AlmostMaximalMatching{m: amm.New(amm.Config{N: n, Eps: eps, Seed: seed})}
+}
+
+// Insert adds an edge.
+func (am *AlmostMaximalMatching) Insert(u, v int) UpdateStats { return am.m.Insert(u, v) }
+
+// Delete removes an edge.
+func (am *AlmostMaximalMatching) Delete(u, v int) UpdateStats { return am.m.Delete(u, v) }
+
+// MateTable returns the current matching as a mate table (-1 = free).
+func (am *AlmostMaximalMatching) MateTable() []int { return am.m.MateTable() }
+
+// Cluster exposes the underlying cluster accounting.
+func (am *AlmostMaximalMatching) Cluster() *Cluster { return am.m.Cluster() }

@@ -1,0 +1,134 @@
+package dmpc
+
+import (
+	"math/rand"
+	"testing"
+
+	"dmpc/internal/graph"
+)
+
+// TestFacadeConnectivity drives the public API against the oracle.
+func TestFacadeConnectivity(t *testing.T) {
+	const n = 40
+	cc := NewConnectivity(n, 200)
+	g := NewGraph(n)
+	rng := rand.New(rand.NewSource(1))
+	for _, up := range graph.RandomStream(n, 250, 0.55, 1, rng) {
+		if up.Op == Insert {
+			cc.Insert(up.U, up.V)
+		} else {
+			cc.Delete(up.U, up.V)
+		}
+		g.Apply(up)
+	}
+	comp := graph.Components(g)
+	for u := 0; u < n; u += 3 {
+		for v := u + 1; v < n; v += 4 {
+			if cc.Connected(u, v) != (comp[u] == comp[v]) {
+				t.Fatalf("Connected(%d,%d) mismatch", u, v)
+			}
+		}
+	}
+	mine := make([]int, n)
+	for v := 0; v < n; v++ {
+		mine[v] = int(cc.ComponentOf(v))
+	}
+	if !graph.SameLabeling(mine, comp) {
+		t.Fatal("component labels do not partition like the oracle")
+	}
+	if cc.Cluster().Stats().Rounds == 0 {
+		t.Fatal("no rounds accounted")
+	}
+}
+
+func TestFacadeMST(t *testing.T) {
+	const n = 24
+	mst := NewMST(n, 0, 150)
+	g := NewGraph(n)
+	rng := rand.New(rand.NewSource(2))
+	for _, up := range graph.RandomStream(n, 180, 0.6, 50, rng) {
+		if up.Op == Insert {
+			mst.Insert(up.U, up.V, up.W)
+		} else {
+			mst.Delete(up.U, up.V)
+		}
+		g.Apply(up)
+		if mst.Weight() != graph.MSFWeight(g) {
+			t.Fatalf("after %v: weight %d want %d", up, mst.Weight(), graph.MSFWeight(g))
+		}
+	}
+	var plain []graph.Edge
+	for _, e := range mst.ForestEdges() {
+		plain = append(plain, graph.Edge{U: e.U, V: e.V})
+	}
+	if !graph.IsSpanningForest(g, plain) {
+		t.Fatal("forest edges are not a spanning forest")
+	}
+}
+
+func TestFacadeMatchings(t *testing.T) {
+	const n = 20
+	mm := NewMaximalMatching(n, 120)
+	m32 := NewThreeHalvesMatching(n, 120)
+	am := NewAlmostMaximalMatching(n, 0.2, 7)
+	g := NewGraph(n)
+	rng := rand.New(rand.NewSource(3))
+	for _, up := range graph.RandomStream(n, 200, 0.55, 1, rng) {
+		if up.Op == Insert {
+			mm.Insert(up.U, up.V)
+			m32.Insert(up.U, up.V)
+			am.Insert(up.U, up.V)
+		} else {
+			mm.Delete(up.U, up.V)
+			m32.Delete(up.U, up.V)
+			am.Delete(up.U, up.V)
+		}
+		g.Apply(up)
+		if !graph.IsMaximalMatching(g, mm.MateTable()) {
+			t.Fatalf("after %v: §3 matching not maximal", up)
+		}
+		mt := m32.MateTable()
+		if !graph.IsMaximalMatching(g, mt) || graph.HasLength3AugPath(g, mt) {
+			t.Fatalf("after %v: §4 certificate broken", up)
+		}
+		if !graph.IsMatching(g, am.MateTable()) {
+			t.Fatalf("after %v: §6 matching invalid", up)
+		}
+	}
+}
+
+// TestWorstCaseRoundsFlatAcrossSizes is the headline Table 1 property on
+// the public API: worst-case rounds per update do not grow with n for any
+// of the O(1)-round algorithms.
+func TestWorstCaseRoundsFlatAcrossSizes(t *testing.T) {
+	worstAt := func(n int) (cc, mst int) {
+		c := NewConnectivity(n, 5*n)
+		m := NewMST(n, 0.25, 5*n)
+		rng := rand.New(rand.NewSource(9))
+		for _, up := range graph.RandomStream(n, 200, 0.55, 30, rng) {
+			var s1, s2 UpdateStats
+			if up.Op == Insert {
+				s1 = c.Insert(up.U, up.V)
+				s2 = m.Insert(up.U, up.V, up.W)
+			} else {
+				s1 = c.Delete(up.U, up.V)
+				s2 = m.Delete(up.U, up.V)
+			}
+			if s1.Rounds > cc {
+				cc = s1.Rounds
+			}
+			if s2.Rounds > mst {
+				mst = s2.Rounds
+			}
+		}
+		return cc, mst
+	}
+	cc32, mst32 := worstAt(32)
+	cc256, mst256 := worstAt(256)
+	if cc256 > cc32+3 {
+		t.Fatalf("CC worst rounds grew: %d -> %d", cc32, cc256)
+	}
+	if mst256 > mst32+3 {
+		t.Fatalf("MST worst rounds grew: %d -> %d", mst32, mst256)
+	}
+}

@@ -1,0 +1,593 @@
+package amm
+
+import (
+	"math/rand"
+	"sort"
+
+	"dmpc/internal/mpc"
+)
+
+type akind int32
+
+const (
+	aUpdate       akind = iota // external edge update at owner(u)
+	aEdge                      // owner(u) -> owner(v): second half of the edge update
+	aEdgeBack                  // owner(v) -> owner(u): commit both-free match / mirror
+	aReport                    // owners -> scheduler: freed vertices, low supports, pending jobs
+	aCycle                     // external: run this cycle's subscheduler batches
+	aHandleFree                // scheduler -> owner: run handle-free(v)
+	aCandidate                 // owner -> scheduler: sampled mate proposal
+	aMatchOrder                // scheduler -> owner: commit (v,w) at level ℓ
+	aMatchedAck                // owner -> scheduler: committed; names the stolen ex-partner
+	aExFreed                   // owner(w) -> owner(ex): your partner was stolen
+	aUnmatchOrder              // scheduler -> owner: proactively unmatch v's edge
+	aTick                      // scheduler -> owner: process Δ level-notification jobs
+	aTickAck                   // owner -> scheduler: jobs drained or not
+	aLvlUpd                    // owner -> owner: neighbor level mirror update
+	aProbe                     // scheduler -> owner: rise/shuffle probe
+	aProbeRep                  // owner -> scheduler
+)
+
+type amsg struct {
+	Kind    akind
+	U, V    int32
+	Seq     int64
+	Del     bool
+	Lvl     int32
+	Lvl2    int32
+	Support int32
+	Free    bool
+	Freed   []int32 // pairs (vertex, level)
+	Low     []int32 // vertices whose matched edge lost support
+	Active  []int32
+	Pending bool
+	Shuffle bool
+	Found   bool
+}
+
+func (m amsg) words() int {
+	return 10 + len(m.Freed) + len(m.Low) + len(m.Active)
+}
+
+// vstate is the authoritative per-vertex state at its owner.
+type vstate struct {
+	lvl     int32 // -1 free
+	mate    int32 // -1 free
+	support int32
+	adj     map[int32]int32 // neighbor -> mirrored level
+}
+
+// job notifies v's neighbors about a level change, Δ per tick.
+type job struct {
+	v    int32
+	lvl  int32
+	todo []int32
+}
+
+type shard struct {
+	id     int
+	mu     int
+	cfg    Config
+	levels int
+	verts  map[int32]*vstate
+	jobs   []job
+	rng    *rand.Rand
+}
+
+func newShard(id, mu int, cfg Config, levels int) *shard {
+	return &shard{
+		id: id, mu: mu, cfg: cfg, levels: levels,
+		verts: make(map[int32]*vstate),
+		rng:   rand.New(rand.NewSource(cfg.Seed + int64(id)*7919)),
+	}
+}
+
+func (s *shard) owner(v int32) int { return 1 + int(v)%s.mu }
+
+func (s *shard) MemWords() int {
+	w := 0
+	for _, st := range s.verts {
+		w += 4 + 2*len(st.adj)
+	}
+	for _, j := range s.jobs {
+		w += 2 + len(j.todo)
+	}
+	return w
+}
+
+func (s *shard) get(v int32) *vstate {
+	st, ok := s.verts[v]
+	if !ok {
+		st = &vstate{lvl: -1, mate: -1, adj: make(map[int32]int32)}
+		s.verts[v] = st
+	}
+	return st
+}
+
+// queueLevelJob schedules neighbor notifications for v's new level.
+func (s *shard) queueLevelJob(v int32, lvl int32) {
+	st := s.get(v)
+	todo := make([]int32, 0, len(st.adj))
+	for w := range st.adj {
+		todo = append(todo, w)
+	}
+	sort.Slice(todo, func(i, j int) bool { return todo[i] < todo[j] })
+	s.jobs = append(s.jobs, job{v: v, lvl: lvl, todo: todo})
+}
+
+// setLevel moves v to lvl and queues the neighbor notifications.
+func (s *shard) setLevel(v int32, lvl int32) {
+	st := s.get(v)
+	if st.lvl == lvl {
+		return
+	}
+	st.lvl = lvl
+	s.queueLevelJob(v, lvl)
+}
+
+// lowThreshold is (1-2ε)·γ^ℓ, the proactive unmatch trigger.
+func (s *shard) lowThreshold(lvl int32) int32 {
+	return int32((1 - 2*s.cfg.Eps) * float64(pow(s.cfg.Gamma, int(lvl))))
+}
+
+func (s *shard) HandleRound(ctx *mpc.Ctx, inbox []mpc.Message) {
+	report := amsg{Kind: aReport, Seq: 0}
+	dirty := false
+
+	for _, raw := range inbox {
+		m, ok := raw.Payload.(amsg)
+		if !ok {
+			continue
+		}
+		switch m.Kind {
+		case aUpdate:
+			s.handleUpdate(ctx, m, &report, &dirty)
+		case aEdge:
+			s.handleEdgeOther(ctx, m, &report, &dirty)
+		case aEdgeBack:
+			st := s.get(m.U)
+			st.adj[m.V] = m.Lvl
+			if m.Found { // both-free match committed at the other side
+				st.mate = m.V
+				s.setLevel(m.U, 0)
+				st.support = 1
+				dirty = true
+			}
+		case aHandleFree:
+			s.handleFree(ctx, m)
+		case aMatchOrder:
+			s.commitMatch(ctx, m, &report, &dirty)
+		case aExFreed:
+			st := s.get(m.U)
+			if st.mate == m.V {
+				st.mate = -1
+				st.lvl = -1
+				s.queueLevelJob(m.U, -1)
+				dirty = true
+			}
+		case aUnmatchOrder:
+			s.unmatchLocal(ctx, m.U, &report, &dirty)
+		case aTick:
+			s.processJobs(ctx)
+			ack := amsg{Kind: aTickAck, U: int32(s.id), Pending: len(s.jobs) > 0}
+			ctx.Send(0, ack, ack.words())
+		case aLvlUpd:
+			st := s.get(m.U)
+			if _, ok := st.adj[m.V]; ok {
+				st.adj[m.V] = m.Lvl
+			}
+		case aProbe:
+			s.handleProbe(ctx, m)
+		}
+	}
+	pending := len(s.jobs) > 0
+	if dirty || len(report.Freed) > 0 || len(report.Low) > 0 || pending {
+		report.Pending = pending
+		report.U = int32(s.id)
+		ctx.Send(0, report, report.words())
+	}
+}
+
+// handleUpdate is the first half of an edge update, at owner(u).
+func (s *shard) handleUpdate(ctx *mpc.Ctx, m amsg, report *amsg, dirty *bool) {
+	u, v := m.U, m.V
+	if u == v {
+		return
+	}
+	st := s.get(u)
+	if !m.Del {
+		st.adj[v] = -2 // unknown until the mirror reply
+		fwd := amsg{Kind: aEdge, U: v, V: u, Lvl: st.lvl, Free: st.mate == -1}
+		ctx.Send(s.owner(v), fwd, fwd.words())
+		return
+	}
+	// Delete.
+	wasMate := st.mate == v
+	delete(st.adj, v)
+	fwd := amsg{Kind: aEdge, U: v, V: u, Del: true, Found: wasMate, Lvl: st.lvl}
+	if wasMate {
+		report.Freed = append(report.Freed, u, st.lvl)
+		st.mate = -1
+		st.lvl = -1
+		s.queueLevelJob(u, -1)
+		*dirty = true
+	} else if st.mate >= 0 {
+		st.support--
+		if st.support < s.lowThreshold(st.lvl) {
+			report.Low = append(report.Low, u)
+			*dirty = true
+		}
+	}
+	ctx.Send(s.owner(v), fwd, fwd.words())
+}
+
+// handleEdgeOther is the second half, at owner(v).
+func (s *shard) handleEdgeOther(ctx *mpc.Ctx, m amsg, report *amsg, dirty *bool) {
+	v, u := m.U, m.V
+	st := s.get(v)
+	if m.Del {
+		delete(st.adj, u)
+		if m.Found { // the deleted edge was the matched edge
+			report.Freed = append(report.Freed, v, st.lvl)
+			st.mate = -1
+			st.lvl = -1
+			s.queueLevelJob(v, -1)
+			*dirty = true
+		} else if st.mate >= 0 {
+			st.support--
+			if st.support < s.lowThreshold(st.lvl) {
+				report.Low = append(report.Low, v)
+				*dirty = true
+			}
+		}
+		return
+	}
+	st.adj[u] = m.Lvl
+	back := amsg{Kind: aEdgeBack, U: u, V: v, Lvl: st.lvl}
+	if m.Free && st.mate == -1 {
+		// Both endpoints free: match at level 0 (§6's insertion rule).
+		st.mate = u
+		s.setLevel(v, 0)
+		st.support = 1
+		back.Found = true
+		back.Lvl = 0
+		*dirty = true
+	}
+	ctx.Send(s.owner(u), back, back.words())
+}
+
+// handleFree runs the §6 handle-free(v): choose the highest level ℓ with
+// Φ_v(ℓ) ≥ γ^ℓ and sample a mate from the lower-level pool, excluding the
+// active list.
+func (s *shard) handleFree(ctx *mpc.Ctx, m amsg) {
+	v := m.U
+	st := s.get(v)
+	if st.mate >= 0 || len(st.adj) == 0 {
+		return // nothing to do; scheduler's active entry expires
+	}
+	active := map[int32]bool{}
+	for _, a := range m.Active {
+		active[a] = true
+	}
+	bestLvl := int32(-1)
+	for l := 0; l < s.levels; l++ {
+		phi := 0
+		for _, wl := range st.adj {
+			if int(wl) < l {
+				phi++
+			}
+		}
+		if phi >= pow(s.cfg.Gamma, l) {
+			bestLvl = int32(l)
+		}
+	}
+	if bestLvl < 0 {
+		return
+	}
+	var pool []int32
+	for w, wl := range st.adj {
+		if wl < bestLvl && !active[w] {
+			pool = append(pool, w)
+		}
+	}
+	if len(pool) == 0 {
+		return
+	}
+	sort.Slice(pool, func(i, j int) bool { return pool[i] < pool[j] })
+	w := pool[s.rng.Intn(len(pool))]
+	cand := amsg{Kind: aCandidate, U: v, V: w, Lvl: bestLvl, Support: int32(len(pool))}
+	ctx.Send(0, cand, cand.words())
+}
+
+// commitMatch applies an arbitrated match order for the vertex this shard
+// owns. The first order (to w's owner, Found=true) steals w from its
+// current partner if necessary.
+func (s *shard) commitMatch(ctx *mpc.Ctx, m amsg, report *amsg, dirty *bool) {
+	v := m.U
+	st := s.get(v)
+	if m.Found && st.mate >= 0 {
+		// Steal: the ex-partner is freed.
+		ex := st.mate
+		exLvl := st.lvl
+		fr := amsg{Kind: aExFreed, U: ex, V: v}
+		ctx.Send(s.owner(ex), fr, fr.words())
+		report.Freed = append(report.Freed, ex, exLvl)
+		*dirty = true
+	}
+	st.mate = m.V
+	st.support = m.Support
+	s.setLevel(v, m.Lvl)
+	*dirty = true
+}
+
+// processJobs delivers up to Δ pending level notifications.
+func (s *shard) processJobs(ctx *mpc.Ctx) {
+	budget := s.cfg.Delta
+	for budget > 0 && len(s.jobs) > 0 {
+		j := &s.jobs[0]
+		n := budget
+		if n > len(j.todo) {
+			n = len(j.todo)
+		}
+		for _, w := range j.todo[:n] {
+			upd := amsg{Kind: aLvlUpd, U: w, V: j.v, Lvl: j.lvl}
+			ctx.Send(s.owner(w), upd, upd.words())
+		}
+		j.todo = j.todo[n:]
+		budget -= n
+		if len(j.todo) == 0 {
+			s.jobs = s.jobs[1:]
+		}
+	}
+}
+
+// unmatchLocal proactively unmatches v's edge (unmatch/shuffle/rise
+// schedulers).
+func (s *shard) unmatchLocal(ctx *mpc.Ctx, v int32, report *amsg, dirty *bool) {
+	st := s.get(v)
+	if st.mate < 0 {
+		return
+	}
+	ex := st.mate
+	lvl := st.lvl
+	st.mate = -1
+	st.lvl = -1
+	s.queueLevelJob(v, -1)
+	fr := amsg{Kind: aExFreed, U: ex, V: v}
+	ctx.Send(s.owner(ex), fr, fr.words())
+	report.Freed = append(report.Freed, v, lvl, ex, lvl)
+	*dirty = true
+}
+
+// handleProbe serves the rise/shuffle subschedulers: report a random
+// matched vertex at level >= 1 (shuffle) or a Φ-invariant violator (rise).
+func (s *shard) handleProbe(ctx *mpc.Ctx, m amsg) {
+	rep := amsg{Kind: aProbeRep, Shuffle: m.Shuffle}
+	var ids []int32
+	for v := range s.verts {
+		ids = append(ids, v)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	if m.Shuffle {
+		var cands []int32
+		for _, v := range ids {
+			st := s.verts[v]
+			if st.mate >= 0 && st.lvl >= 1 && v < st.mate {
+				cands = append(cands, v)
+			}
+		}
+		if len(cands) > 0 {
+			rep.Found = true
+			rep.U = cands[s.rng.Intn(len(cands))]
+		}
+	} else {
+		// Rise probe: Φ_v(ℓ) must stay ≤ γ^ℓ · c·log² n for ℓ > lvl(v).
+		cap := 4 * bits(s.cfg.N) * bits(s.cfg.N)
+		for _, v := range ids {
+			st := s.verts[v]
+			for l := int(st.lvl) + 1; l < s.levels; l++ {
+				phi := 0
+				for _, wl := range st.adj {
+					if int(wl) < l {
+						phi++
+					}
+				}
+				if phi > pow(s.cfg.Gamma, l)*cap {
+					rep.Found = true
+					rep.U = v
+					rep.Lvl = int32(l)
+					break
+				}
+			}
+			if rep.Found {
+				break
+			}
+		}
+	}
+	ctx.Send(0, rep, rep.words())
+}
+
+// scheduler is machine 0: queues, active list, subscheduler arbitration.
+type scheduler struct {
+	cfg    Config
+	mu     int
+	levels int
+
+	queues          [][]int32 // per level (index lvl+1)
+	active          map[int32]bool
+	lowSupp         map[int32]bool
+	pendingJobs     map[int32]bool
+	pendingUnmatch  []int32
+	pendingAckClear []int32
+	rng             *rand.Rand
+	cycle           int64
+}
+
+func newScheduler(cfg Config, mu, levels int) *scheduler {
+	return &scheduler{
+		cfg: cfg, mu: mu, levels: levels,
+		queues:      make([][]int32, levels+1),
+		active:      make(map[int32]bool),
+		lowSupp:     make(map[int32]bool),
+		pendingJobs: make(map[int32]bool),
+		rng:         rand.New(rand.NewSource(cfg.Seed ^ 0x5bf0_3635)),
+	}
+}
+
+func (s *scheduler) MemWords() int {
+	w := len(s.active) + len(s.lowSupp) + len(s.pendingJobs) + len(s.pendingUnmatch)
+	for _, q := range s.queues {
+		w += len(q)
+	}
+	return w + 8
+}
+
+func (s *scheduler) owner(v int32) int { return 1 + int(v)%s.mu }
+
+func (s *scheduler) enqueue(v, lvl int32) {
+	idx := int(lvl) + 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(s.queues) {
+		idx = len(s.queues) - 1
+	}
+	s.queues[idx] = append(s.queues[idx], v)
+}
+
+func (s *scheduler) HandleRound(ctx *mpc.Ctx, inbox []mpc.Message) {
+	runCycle := false
+	for _, raw := range inbox {
+		m, ok := raw.Payload.(amsg)
+		if !ok {
+			continue
+		}
+		switch m.Kind {
+		case aReport:
+			for i := 0; i+1 < len(m.Freed); i += 2 {
+				s.enqueue(m.Freed[i], m.Freed[i+1])
+			}
+			for _, v := range m.Low {
+				s.lowSupp[v] = true
+			}
+			if m.Pending {
+				s.pendingJobs[m.U] = true
+			}
+		case aTickAck:
+			if !m.Pending {
+				delete(s.pendingJobs, m.U)
+			} else {
+				s.pendingJobs[m.U] = true
+			}
+		case aCycle:
+			runCycle = true
+		case aCandidate:
+			s.arbitrate(ctx, m)
+		case aMatchedAck:
+			delete(s.active, m.U)
+			delete(s.active, m.V)
+		case aProbeRep:
+			if m.Found {
+				s.pendingUnmatch = append(s.pendingUnmatch, m.U)
+				if !m.Shuffle {
+					// Rise: requeue at the violating level after unmatching.
+					s.enqueue(m.U, m.Lvl)
+				}
+			}
+		}
+	}
+	if runCycle {
+		s.dispatch(ctx)
+	}
+}
+
+// dispatch runs one Δ-bounded batch of every subscheduler family.
+func (s *scheduler) dispatch(ctx *mpc.Ctx) {
+	s.cycle++
+	// Match orders always commit, so the previous cycle's active entries
+	// expire now.
+	for _, v := range s.pendingAckClear {
+		delete(s.active, v)
+	}
+	s.pendingAckClear = nil
+	// Deferred unmatch orders (shuffle/rise picks from the previous cycle,
+	// low-support edges from the unmatch-scheduler).
+	orders := s.pendingUnmatch
+	s.pendingUnmatch = nil
+	var lows []int32
+	for v := range s.lowSupp {
+		lows = append(lows, v)
+	}
+	sort.Slice(lows, func(i, j int) bool { return lows[i] < lows[j] })
+	if len(lows) > 0 {
+		orders = append(orders, lows[0]) // lowest-support proxy: one per cycle
+		delete(s.lowSupp, lows[0])
+	}
+	seen := map[int32]bool{}
+	for _, v := range orders {
+		if seen[v] || s.active[v] {
+			continue
+		}
+		seen[v] = true
+		o := amsg{Kind: aUnmatchOrder, U: v}
+		ctx.Send(s.owner(v), o, o.words())
+	}
+
+	// Free-schedule: pop one vertex per level, highest level first (the
+	// paper's processing order), and dispatch handle-free with the active
+	// list attached.
+	act := make([]int32, 0, len(s.active))
+	for v := range s.active {
+		act = append(act, v)
+	}
+	sort.Slice(act, func(i, j int) bool { return act[i] < act[j] })
+	for lvl := len(s.queues) - 1; lvl >= 0; lvl-- {
+		q := s.queues[lvl]
+		for len(q) > 0 {
+			v := q[0]
+			q = q[1:]
+			if s.active[v] {
+				continue
+			}
+			o := amsg{Kind: aHandleFree, U: v, Active: act}
+			ctx.Send(s.owner(v), o, o.words())
+			break
+		}
+		s.queues[lvl] = q
+	}
+
+	// Tick machines with pending level-notification jobs.
+	for m := range s.pendingJobs {
+		o := amsg{Kind: aTick}
+		ctx.Send(int(m), o, o.words())
+	}
+
+	// Shuffle and rise probes, one random shard each every few cycles.
+	if s.cycle%4 == 0 {
+		o := amsg{Kind: aProbe, Shuffle: true}
+		ctx.Send(1+s.rng.Intn(s.mu), o, o.words())
+	}
+	if s.cycle%4 == 2 {
+		o := amsg{Kind: aProbe}
+		ctx.Send(1+s.rng.Intn(s.mu), o, o.words())
+	}
+}
+
+// arbitrate resolves candidate conflicts: first valid candidate per vertex
+// wins; both sides become active until their acks arrive.
+func (s *scheduler) arbitrate(ctx *mpc.Ctx, m amsg) {
+	v, w := m.U, m.V
+	if s.active[v] || s.active[w] {
+		s.enqueue(v, m.Lvl) // retry later
+		return
+	}
+	s.active[v], s.active[w] = true, true
+	// w's side first (it may steal), then v's side.
+	ow := amsg{Kind: aMatchOrder, U: w, V: v, Lvl: m.Lvl, Support: m.Support, Found: true}
+	ctx.Send(s.owner(w), ow, ow.words())
+	ov := amsg{Kind: aMatchOrder, U: v, V: w, Lvl: m.Lvl, Support: m.Support}
+	ctx.Send(s.owner(v), ov, ov.words())
+	// Acks are implicit: both orders always commit (the steal frees the
+	// ex-partner), so the active entries clear at the next cycle.
+	s.pendingAckClear = append(s.pendingAckClear, v, w)
+}

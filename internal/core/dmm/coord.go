@@ -1,0 +1,449 @@
+package dmm
+
+import (
+	"fmt"
+
+	"dmpc/internal/mpc"
+)
+
+// Message kinds of the §3 protocol. Every storage-bound message carries
+// the H suffix the target has not yet seen; every storage reply reports
+// words reclaimed by lazy deletions, keeping the coordinator's free-space
+// directory current.
+type ckind int32
+
+const (
+	cUpdate   ckind = iota // external update at MC
+	cStatsReq              // MC -> stats: apply degree delta, reply stat
+	cStatsRep
+	cStatsSet // MC -> stats: field updates
+	cStore    // MC -> storage: add one edge record (no reply)
+	cScan     // MC -> storage: scan v's records for matching candidates
+	cScanRep
+	cMoveOut // MC -> storage: ship v's records to a target
+	cMoveIn  // storage -> storage: record payload
+	cAck     // storage -> MC: {Freed, Used, Count}
+	cRefresh // MC -> storage: apply H suffix only (round-robin)
+
+	// §4 extension traffic.
+	cList    // MC -> storage: report v's full records
+	cListRep // storage -> MC
+	cCtrGet  // MC -> stats: batched free-neighbor counter reads
+	cCtrRep  // stats -> MC
+	cCtrAdd  // MC -> stats: batched counter deltas (no reply)
+)
+
+// hop describes one update-history entry. hMatched carries the heaviness
+// of both endpoints at match time so storage machines can maintain the
+// mate-heaviness mirror locally.
+type hop int8
+
+const (
+	hEdgeIns hop = iota
+	hEdgeDel
+	hMatched
+	hUnmatched
+	hHeavyOn
+	hHeavyOff
+)
+
+type hentry struct {
+	op     hop
+	a, b   int32
+	ah, bh bool
+}
+
+// edgeRec is one stored edge copy: v's record of neighbor other, with a
+// mirror of other's matching status, heaviness, and its mate's heaviness —
+// all refreshed lazily through H.
+type edgeRec struct {
+	other     int32
+	matched   bool
+	mate      int32
+	heavy     bool
+	mateHeavy bool
+}
+
+const edgeWords = 7
+
+// stat is the authoritative per-vertex record on a statistics machine.
+// home is the light machine for light vertices and the alive machine for
+// heavy ones (-1 when the vertex stores no edges).
+type stat struct {
+	deg       int32
+	mate      int32 // -1 free
+	heavy     bool
+	home      int32
+	aliveCnt  int32 // physical records on the alive machine (approximate)
+	suspended []int32
+	freeNbr   int32 // §4 free-neighbor counter
+}
+
+type cmsg struct {
+	Kind ckind
+	A, B int32
+	Seq  int64
+	Del  bool
+
+	// stats traffic
+	DegDelta int32
+	St       stat
+	SetMate  bool
+	Mate     int32
+	SetHeavy bool
+	Heavy    bool
+	SetHome  bool
+	Home     int32
+	SetCnt   bool
+	Cnt      int32
+	SetSusp  bool
+	Susp     []int32
+
+	// storage traffic
+	V        int32
+	Rec      edgeRec
+	H        []hentry
+	Target   int32
+	Keep     int32
+	Overflow int32
+	Recs     []edgeRec
+	Freed    int32
+	Used     int32
+	Count    int32
+
+	// scan request/reply
+	WantFree   bool
+	WantSteal  bool
+	Exclude    int32 // vertex to skip in free-neighbor searches (-1 none)
+	FoundFree  bool
+	FreeW      int32
+	FoundSteal bool
+	StealW     int32
+	StealMate  int32
+
+	// §4 counter traffic
+	Vs []int32
+	Ds []int32
+}
+
+func (m cmsg) words() int {
+	return 14 + 4*len(m.H) + edgeWords*len(m.Recs) + len(m.Susp) + len(m.Vs) + len(m.Ds)
+}
+
+// Machine kinds in the coordinator's directory.
+const (
+	mkFree int8 = iota
+	mkLight
+	mkExclusive
+)
+
+// coordinator is machine 0: the paper's MC.
+type coordinator struct {
+	cfg      Config
+	mu       int
+	numStats int
+	statsPer int
+	mem      int
+	heavyAt  int
+	aliveCap int
+
+	// update-history ring.
+	h     []hentry
+	hBase int64
+	hCap  int
+
+	lastSync  []int64
+	freeWords []int32
+	kindOf    []int8
+	refreshAt int
+
+	fallbacks int64
+
+	// §4 state: per-update status flips (coalesced by parity) and the set
+	// of vertices freed during the update (augmenting-path sweep
+	// candidates).
+	threeHalves bool
+	flips       map[int32]*flipInfo
+	freed       map[int32]bool
+
+	// continuation-driven orchestration; one update in flight at a time.
+	// Solicited replies echo updSeq; unsolicited acks (store/refresh
+	// bookkeeping) carry -1 and only adjust the free-space directory.
+	updSeq  int64
+	waiting int
+	replies []cmsg
+	cont    func(ctx *mpc.Ctx)
+}
+
+func newCoordinator(cfg Config, mu, numStats, statsPer, mem, heavyAt, aliveCap int) *coordinator {
+	c := &coordinator{
+		cfg: cfg, mu: mu, numStats: numStats, statsPer: statsPer, mem: mem,
+		heavyAt: heavyAt, aliveCap: aliveCap,
+		hCap:        12*mu + 128,
+		lastSync:    make([]int64, mu),
+		freeWords:   make([]int32, mu),
+		kindOf:      make([]int8, mu),
+		threeHalves: cfg.ThreeHalves,
+		flips:       make(map[int32]*flipInfo),
+		freed:       make(map[int32]bool),
+	}
+	for i := c.firstStore(); i < mu; i++ {
+		c.freeWords[i] = int32(mem)
+		c.kindOf[i] = mkFree
+	}
+	return c
+}
+
+func (c *coordinator) firstStore() int { return 1 + c.numStats }
+
+func (c *coordinator) MemWords() int {
+	return len(c.h)*4 + len(c.lastSync)*2 + len(c.freeWords) + 16
+}
+
+func (c *coordinator) statsOf(v int32) int32 { return 1 + v/int32(c.statsPer) }
+
+func (c *coordinator) hAppend(e hentry) {
+	c.h = append(c.h, e)
+	if len(c.h) > c.hCap {
+		drop := len(c.h) - c.hCap
+		for m := c.firstStore(); m < c.mu; m++ {
+			if c.lastSync[m] < c.hBase+int64(drop) {
+				panic(fmt.Sprintf("dmm: machine %d fell behind the update-history ring", m))
+			}
+		}
+		c.h = append(c.h[:0], c.h[drop:]...)
+		c.hBase += int64(drop)
+	}
+}
+
+// suffixFor returns the H entries machine m has not seen and advances its
+// cursor.
+func (c *coordinator) suffixFor(m int32) []hentry {
+	end := c.hBase + int64(len(c.h))
+	ls := c.lastSync[m]
+	if ls < c.hBase {
+		panic(fmt.Sprintf("dmm: machine %d lost history (sync %d < base %d)", m, ls, c.hBase))
+	}
+	out := append([]hentry(nil), c.h[ls-c.hBase:]...)
+	c.lastSync[m] = end
+	return out
+}
+
+// deletedInH reports whether edge (v,other) has a pending lazy deletion
+// (driver-side validation helper).
+func (c *coordinator) deletedInH(v, other int32) bool {
+	del := false
+	for _, e := range c.h {
+		same := (e.a == v && e.b == other) || (e.a == other && e.b == v)
+		if !same {
+			continue
+		}
+		switch e.op {
+		case hEdgeIns:
+			del = false
+		case hEdgeDel:
+			del = true
+		}
+	}
+	return del
+}
+
+// allocate claims a machine: first-fit light sharing or a fresh exclusive.
+func (c *coordinator) allocate(kind int8, need int32) int32 {
+	if kind == mkLight {
+		for m := c.firstStore(); m < c.mu; m++ {
+			if c.kindOf[m] == mkLight && c.freeWords[m] >= need {
+				return int32(m)
+			}
+		}
+	}
+	for m := c.firstStore(); m < c.mu; m++ {
+		if c.kindOf[m] == mkFree {
+			c.kindOf[m] = kind
+			c.freeWords[m] = int32(c.mem)
+			// A fresh machine holds nothing, so its history cursor starts
+			// at the present.
+			c.lastSync[m] = c.hBase + int64(len(c.h))
+			return int32(m)
+		}
+	}
+	panic("dmm: storage pool exhausted")
+}
+
+// release returns an exclusive machine to the pool.
+func (c *coordinator) release(m int32) {
+	c.kindOf[m] = mkFree
+	c.freeWords[m] = int32(c.mem)
+	c.lastSync[m] = c.hBase + int64(len(c.h))
+}
+
+func (c *coordinator) await(ctx *mpc.Ctx, n int, f func(ctx *mpc.Ctx)) {
+	if n == 0 {
+		f(ctx)
+		return
+	}
+	c.waiting = n
+	c.replies = c.replies[:0]
+	c.cont = f
+}
+
+func (c *coordinator) send(ctx *mpc.Ctx, to int32, m cmsg) {
+	if m.Seq == 0 {
+		m.Seq = c.updSeq
+	}
+	ctx.Send(int(to), m, m.words())
+}
+
+// sendStore ships an edge record with the target's H suffix; no reply.
+func (c *coordinator) sendStore(ctx *mpc.Ctx, target, v int32, rec edgeRec) {
+	c.send(ctx, target, cmsg{Kind: cStore, V: v, Rec: rec, H: c.suffixFor(target), Target: target})
+	c.freeWords[target] -= edgeWords
+}
+
+func (c *coordinator) HandleRound(ctx *mpc.Ctx, inbox []mpc.Message) {
+	for _, raw := range inbox {
+		m, ok := raw.Payload.(cmsg)
+		if !ok {
+			continue
+		}
+		switch m.Kind {
+		case cUpdate:
+			c.startUpdate(ctx, m)
+		case cStatsRep, cScanRep, cAck, cListRep, cCtrRep:
+			if m.Kind != cStatsRep && m.Kind != cCtrRep {
+				// Free-space deltas ride on every storage reply.
+				c.freeWords[m.Target] += m.Freed - m.Used
+			}
+			if m.Seq != c.updSeq {
+				continue // unsolicited bookkeeping ack
+			}
+			c.replies = append(c.replies, m)
+			if c.cont != nil && len(c.replies) >= c.waiting {
+				f := c.cont
+				c.cont = nil
+				f(ctx)
+			}
+		}
+	}
+}
+
+func (c *coordinator) statOf(v int32) stat {
+	for _, r := range c.replies {
+		if r.Kind == cStatsRep && r.V == v {
+			return r.St
+		}
+	}
+	panic(fmt.Sprintf("dmm: missing stats reply for %d", v))
+}
+
+func (c *coordinator) scanRep() cmsg {
+	for _, r := range c.replies {
+		if r.Kind == cScanRep {
+			return r
+		}
+	}
+	panic("dmm: missing scan reply")
+}
+
+func (c *coordinator) ackCount(target int32) int32 {
+	for _, r := range c.replies {
+		if r.Kind == cAck && r.Target == target {
+			return r.Count
+		}
+	}
+	return 0
+}
+
+// statsSet helpers: authoritative field writes.
+
+func (c *coordinator) setMate(ctx *mpc.Ctx, v, mate int32) {
+	c.send(ctx, c.statsOf(v), cmsg{Kind: cStatsSet, V: v, SetMate: true, Mate: mate})
+}
+
+func (c *coordinator) setHeavy(ctx *mpc.Ctx, v int32, heavy bool) {
+	c.send(ctx, c.statsOf(v), cmsg{Kind: cStatsSet, V: v, SetHeavy: true, Heavy: heavy})
+}
+
+func (c *coordinator) setHome(ctx *mpc.Ctx, v, home int32) {
+	c.send(ctx, c.statsOf(v), cmsg{Kind: cStatsSet, V: v, SetHome: true, Home: home})
+}
+
+func (c *coordinator) setCnt(ctx *mpc.Ctx, v, cnt int32) {
+	c.send(ctx, c.statsOf(v), cmsg{Kind: cStatsSet, V: v, SetCnt: true, Cnt: cnt})
+}
+
+func (c *coordinator) setSusp(ctx *mpc.Ctx, v int32, susp []int32) {
+	c.send(ctx, c.statsOf(v), cmsg{Kind: cStatsSet, V: v, SetSusp: true, Susp: append([]int32(nil), susp...)})
+}
+
+// flipInfo coalesces a vertex's matching-status flips within one update;
+// only the parity and the original status matter, because the adjacency is
+// constant after the update's single edge event.
+type flipInfo struct {
+	origFree bool
+	flips    int
+}
+
+func (c *coordinator) noteFlip(v int32, wasFree bool) {
+	if !c.threeHalves {
+		return
+	}
+	fi, ok := c.flips[v]
+	if !ok {
+		fi = &flipInfo{origFree: wasFree}
+		c.flips[v] = fi
+	}
+	fi.flips++
+}
+
+// matchPair records (v,w) as matched: H entry (with heaviness bits for the
+// mirrors) plus authoritative mate writes.
+func (c *coordinator) matchPair(ctx *mpc.Ctx, v, w int32, vHeavy, wHeavy bool) {
+	c.hAppend(hentry{op: hMatched, a: v, b: w, ah: vHeavy, bh: wHeavy})
+	c.setMate(ctx, v, w)
+	c.setMate(ctx, w, v)
+	c.noteFlip(v, true)
+	c.noteFlip(w, true)
+	if c.threeHalves {
+		delete(c.freed, v)
+		delete(c.freed, w)
+	}
+}
+
+// unmatchPair records (v,w) as unmatched.
+func (c *coordinator) unmatchPair(ctx *mpc.Ctx, v, w int32) {
+	c.hAppend(hentry{op: hUnmatched, a: v, b: w})
+	c.setMate(ctx, v, -1)
+	c.setMate(ctx, w, -1)
+	c.noteFlip(v, false)
+	c.noteFlip(w, false)
+	if c.threeHalves {
+		c.freed[v] = true
+		c.freed[w] = true
+	}
+}
+
+// finishUpdate closes the update: in §4 mode it first flushes the pending
+// counter flips and sweeps for length-3 augmenting paths; it always ends
+// with the round-robin refresh that keeps every storage machine within
+// O(√N) updates of the history.
+func (c *coordinator) finishUpdate(ctx *mpc.Ctx) {
+	if c.threeHalves {
+		c.counterFlush(ctx, func(ctx *mpc.Ctx) {
+			c.augSweep(ctx, func(ctx *mpc.Ctx) {
+				c.counterFlush(ctx, c.refreshOne)
+			})
+		})
+		return
+	}
+	c.refreshOne(ctx)
+}
+
+func (c *coordinator) refreshOne(ctx *mpc.Ctx) {
+	n := c.mu - c.firstStore()
+	if n > 0 {
+		m := int32(c.firstStore() + c.refreshAt%n)
+		c.refreshAt++
+		c.send(ctx, m, cmsg{Kind: cRefresh, H: c.suffixFor(m), Target: m})
+	}
+}

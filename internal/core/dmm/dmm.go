@@ -1,0 +1,231 @@
+// Package dmm implements §3 of the paper: a deterministic fully-dynamic
+// maximal matching in the DMPC model with O(1) rounds per update, O(1)
+// active machines per round and O(√N) communication per round, in the
+// worst case.
+//
+// # Roles
+//
+// Machine 0 is the coordinator MC. It stores the update-history H — a ring
+// of the last O(√N) updates to the graph AND to the maintained matching
+// (including light/heavy transitions) — plus the storage directory
+// (per-machine free space, light-machine assignment, alive/suspended
+// machines of heavy vertices) and a per-machine synchronization cursor
+// into H.
+//
+// Machines 1..k are statistics machines (k = O(n/√N)); the statistics of
+// vertex v (degree, mate, light/heavy, storage locations) live on machine
+// 1 + v/statsPerMachine and are authoritative: every update flows through
+// them via MC.
+//
+// The remaining machines store adjacency: a light vertex keeps its whole
+// list on one (shared) light machine; a heavy vertex keeps an alive window
+// of up to ⌈√(2·cap)⌉ edges on an exclusive machine and the rest on a
+// stack of suspended machines. Each stored edge carries a mirror of the
+// other endpoint's matching status; mirrors may be up to O(√N) updates
+// stale, and every message from MC to a storage machine carries the H
+// suffix since that machine's last contact, letting it reconstruct current
+// state locally — the paper's need-to-know buffer. One additional machine
+// is refreshed round-robin per update, so every machine is contacted at
+// least every O(√N) updates and the ring never overflows.
+//
+// # Deviations
+//
+// Physical deletion of suspended edges is lazy (applied at the next
+// contact), as in the paper's updateMachine; the light-machine merge rule
+// is occupancy-threshold-based rather than pairwise-exhaustive, preserving
+// the Lemma 3.2 machine bound within constants. If the alive window of a
+// heavy vertex offers neither a free neighbor nor a surrogate with a light
+// mate (impossible at paper scale by the degree-counting argument, but
+// possible on tiny graphs), the suspended stack is scanned as a counted
+// fallback.
+package dmm
+
+import (
+	"fmt"
+	"math"
+
+	"dmpc/internal/graph"
+	"dmpc/internal/mpc"
+)
+
+// Config sizes a dynamic maximal matching instance.
+type Config struct {
+	N        int // vertices
+	CapEdges int // maximum simultaneous edges (the paper's m)
+	// MemWords overrides the per-machine memory (0 = derived from CapEdges).
+	MemWords int
+	// ThreeHalves enables the §4 extension: free-neighbor counters on the
+	// statistics machines and elimination of all length-3 augmenting
+	// paths, upgrading the guarantee from maximal (2-approximate) to
+	// 3/2-approximate at the price of O(n/√N) active machines per round.
+	// Per §4 the graph must start empty (it does).
+	ThreeHalves bool
+}
+
+// M is the §3 dynamic maximal matching structure.
+type M struct {
+	cfg     Config
+	cluster *mpc.Cluster
+	coord   *coordinator
+	stats   []*statsMachine
+	storage []*storeMachine
+	seq     int64
+}
+
+// New builds an empty instance.
+func New(cfg Config) *M {
+	if cfg.N <= 0 {
+		panic("dmm: need at least one vertex")
+	}
+	if cfg.CapEdges < 16 {
+		cfg.CapEdges = 16
+	}
+	root := int(math.Ceil(math.Sqrt(float64(cfg.CapEdges))))
+	aliveCap := int(math.Ceil(math.Sqrt(2 * float64(cfg.CapEdges))))
+	heavyAt := 2 * root
+
+	// Size memory, machine count and history capacity together: all three
+	// are Θ(√N) in the paper, and the worst-case history suffix (≈ the
+	// whole ring, 4 words per entry) must fit within a machine's per-round
+	// I/O budget a few times over. A short fixpoint iteration settles the
+	// constants.
+	mem := maxi(cfg.MemWords, maxi(edgeWords*heavyAt*2+64, 64*root))
+	var statsPer, numStats, poolSize, mu int
+	for i := 0; i < 4; i++ {
+		statsPer = maxi(1, mem/8)
+		numStats = (cfg.N+statsPer-1)/statsPer + 1
+		poolSize = 4*(edgeWords*2*cfg.CapEdges/mem+1) + 3*root + 8
+		mu = 1 + numStats + poolSize
+		need := 16 * (12*mu + 128)
+		if mem >= need {
+			break
+		}
+		mem = need
+	}
+
+	cl := mpc.NewCluster(mpc.Config{Machines: mu, MemWords: mem})
+	m := &M{cfg: cfg}
+	m.cluster = cl
+	m.coord = newCoordinator(cfg, mu, numStats, statsPer, mem, heavyAt, aliveCap)
+	cl.SetMachine(0, m.coord)
+	m.stats = make([]*statsMachine, numStats)
+	for i := 0; i < numStats; i++ {
+		m.stats[i] = newStatsMachine(1+i, statsPer)
+		cl.SetMachine(1+i, m.stats[i])
+	}
+	m.storage = make([]*storeMachine, poolSize)
+	for i := 0; i < poolSize; i++ {
+		m.storage[i] = newStoreMachine(1 + numStats + i)
+		cl.SetMachine(1+numStats+i, m.storage[i])
+	}
+	return m
+}
+
+// Cluster exposes the underlying cluster for accounting.
+func (m *M) Cluster() *mpc.Cluster { return m.cluster }
+
+// Insert adds edge (u,v), returning the update's accounting.
+func (m *M) Insert(u, v int) mpc.UpdateStats {
+	return m.update(graph.Update{Op: graph.Insert, U: u, V: v})
+}
+
+// Delete removes edge (u,v).
+func (m *M) Delete(u, v int) mpc.UpdateStats {
+	return m.update(graph.Update{Op: graph.Delete, U: u, V: v})
+}
+
+func (m *M) update(up graph.Update) mpc.UpdateStats {
+	m.seq++
+	m.cluster.BeginUpdate()
+	m.cluster.Send(mpc.Message{
+		From: -1, To: 0,
+		Payload: cmsg{Kind: cUpdate, A: int32(up.U), B: int32(up.V), Seq: m.seq, Del: up.Op == graph.Delete},
+		Words:   4,
+	})
+	if n := m.cluster.Run(80); n >= 80 {
+		panic(fmt.Sprintf("dmm: update %v did not quiesce in 80 rounds", up))
+	}
+	return m.cluster.EndUpdate()
+}
+
+// MateTable reads the authoritative mate table from the statistics
+// machines (driver-side oracle access; not counted).
+func (m *M) MateTable() []int {
+	out := make([]int, m.cfg.N)
+	for v := 0; v < m.cfg.N; v++ {
+		out[v] = int(m.stats[v/m.coord.statsPer].get(int32(v)).mate)
+	}
+	return out
+}
+
+// Fallbacks reports how often the suspended stack had to be scanned
+// because the alive window offered no surrogate (see package comment).
+func (m *M) Fallbacks() int64 { return m.coord.fallbacks }
+
+// Validate checks the distributed storage invariants: every graph edge is
+// stored under both endpoints exactly once (modulo lazy deletions still in
+// H), light vertices live on a single machine, alive windows respect their
+// capacity, and directory free-space figures match machine contents.
+func (m *M) Validate(g *graph.Graph) error {
+	// Effective edge sets per vertex, after applying pending H deletions.
+	for v := 0; v < m.cfg.N; v++ {
+		st := m.stats[v/m.coord.statsPer].get(int32(v))
+		if int(st.deg) != g.Degree(v) {
+			return fmt.Errorf("vertex %d: stats degree %d, graph %d", v, st.deg, g.Degree(v))
+		}
+		want := g.Degree(v) >= m.coord.heavyAt
+		if st.heavy != want {
+			return fmt.Errorf("vertex %d: heavy=%v, degree %d, threshold %d", v, st.heavy, g.Degree(v), m.coord.heavyAt)
+		}
+		edges := map[int32]bool{}
+		collect := func(mach int32) error {
+			if mach < 0 {
+				return nil
+			}
+			sm := m.storage[int(mach)-1-len(m.stats)]
+			for _, rec := range sm.edges[int32(v)] {
+				if m.coord.deletedInH(int32(v), rec.other) {
+					continue
+				}
+				if edges[rec.other] {
+					return fmt.Errorf("vertex %d: duplicate edge to %d", v, rec.other)
+				}
+				edges[rec.other] = true
+			}
+			return nil
+		}
+		if err := collect(st.home); err != nil {
+			return err
+		}
+		for _, sm := range st.suspended {
+			if err := collect(sm); err != nil {
+				return err
+			}
+		}
+		for _, w := range g.Neighbors(v) {
+			if !edges[int32(w)] {
+				return fmt.Errorf("vertex %d: edge to %d missing from storage", v, w)
+			}
+		}
+		if len(edges) != g.Degree(v) {
+			return fmt.Errorf("vertex %d: %d stored, %d in graph", v, len(edges), g.Degree(v))
+		}
+		if st.heavy {
+			alive := m.storage[int(st.home)-1-len(m.stats)]
+			if len(alive.edges[int32(v)]) > m.coord.aliveCap {
+				return fmt.Errorf("vertex %d: alive window %d exceeds cap %d",
+					v, len(alive.edges[int32(v)]), m.coord.aliveCap)
+			}
+		} else if len(st.suspended) > 0 {
+			return fmt.Errorf("light vertex %d has suspended machines", v)
+		}
+	}
+	return nil
+}
+
+func maxi(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,227 @@
+package dmm
+
+import "dmpc/internal/mpc"
+
+// statsMachine holds the authoritative per-vertex statistics for a
+// contiguous id range (the paper's O(n/√N) statistics machines).
+type statsMachine struct {
+	id    int
+	per   int
+	stats map[int32]*stat
+}
+
+func newStatsMachine(id, per int) *statsMachine {
+	return &statsMachine{id: id, per: per, stats: make(map[int32]*stat)}
+}
+
+func (s *statsMachine) MemWords() int {
+	w := 0
+	for _, st := range s.stats {
+		w += 6 + len(st.suspended)
+	}
+	return w
+}
+
+func (s *statsMachine) get(v int32) *stat {
+	st, ok := s.stats[v]
+	if !ok {
+		st = &stat{mate: -1, home: -1}
+		s.stats[v] = st
+	}
+	return st
+}
+
+func (s *statsMachine) HandleRound(ctx *mpc.Ctx, inbox []mpc.Message) {
+	for _, raw := range inbox {
+		m, ok := raw.Payload.(cmsg)
+		if !ok {
+			continue
+		}
+		switch m.Kind {
+		case cStatsReq:
+			st := s.get(m.V)
+			st.deg += m.DegDelta
+			cp := *st
+			cp.suspended = append([]int32(nil), st.suspended...)
+			ctx.Send(0, cmsg{Kind: cStatsRep, Seq: m.Seq, V: m.V, St: cp}, 8+len(cp.suspended))
+		case cStatsSet:
+			st := s.get(m.V)
+			if m.SetMate {
+				st.mate = m.Mate
+			}
+			if m.SetHeavy {
+				st.heavy = m.Heavy
+			}
+			if m.SetHome {
+				st.home = m.Home
+			}
+			if m.SetCnt {
+				st.aliveCnt = m.Cnt
+			}
+			if m.SetSusp {
+				st.suspended = append([]int32(nil), m.Susp...)
+			}
+		case cCtrAdd:
+			for i, v := range m.Vs {
+				s.get(v).freeNbr += m.Ds[i]
+			}
+		case cCtrGet:
+			reply := cmsg{Kind: cCtrRep, Seq: m.Seq, Vs: append([]int32(nil), m.Vs...)}
+			reply.Ds = make([]int32, len(m.Vs))
+			for i, v := range m.Vs {
+				reply.Ds[i] = s.get(v).freeNbr
+			}
+			ctx.Send(0, reply, 2+2*len(m.Vs))
+		}
+	}
+}
+
+// storeMachine holds adjacency records, keyed by owning vertex. It applies
+// H suffixes before acting and reports reclaimed space on every reply.
+type storeMachine struct {
+	id    int
+	edges map[int32][]edgeRec
+}
+
+func newStoreMachine(id int) *storeMachine {
+	return &storeMachine{id: id, edges: make(map[int32][]edgeRec)}
+}
+
+func (s *storeMachine) MemWords() int {
+	w := 0
+	for _, recs := range s.edges {
+		w += edgeWords * len(recs)
+	}
+	return w
+}
+
+// applyH replays an update-history suffix onto the local records,
+// returning the number of words reclaimed by lazy deletions.
+func (s *storeMachine) applyH(h []hentry) int32 {
+	var freed int32
+	for _, e := range h {
+		switch e.op {
+		case hEdgeDel:
+			freed += s.removeRec(e.a, e.b)
+			freed += s.removeRec(e.b, e.a)
+		case hMatched:
+			s.eachRec(e.a, func(r *edgeRec) { r.matched, r.mate, r.mateHeavy = true, e.b, e.bh })
+			s.eachRec(e.b, func(r *edgeRec) { r.matched, r.mate, r.mateHeavy = true, e.a, e.ah })
+		case hUnmatched:
+			s.eachRec(e.a, func(r *edgeRec) { r.matched, r.mate, r.mateHeavy = false, -1, false })
+			s.eachRec(e.b, func(r *edgeRec) { r.matched, r.mate, r.mateHeavy = false, -1, false })
+		case hHeavyOn, hHeavyOff:
+			on := e.op == hHeavyOn
+			s.eachRec(e.a, func(r *edgeRec) { r.heavy = on })
+			s.eachMate(e.a, func(r *edgeRec) { r.mateHeavy = on })
+		}
+	}
+	return freed
+}
+
+// eachRec visits every record whose other endpoint is v.
+func (s *storeMachine) eachRec(v int32, f func(*edgeRec)) {
+	for _, recs := range s.edges {
+		for i := range recs {
+			if recs[i].other == v {
+				f(&recs[i])
+			}
+		}
+	}
+}
+
+// eachMate visits every record whose mirrored mate is v.
+func (s *storeMachine) eachMate(v int32, f func(*edgeRec)) {
+	for _, recs := range s.edges {
+		for i := range recs {
+			if recs[i].matched && recs[i].mate == v {
+				f(&recs[i])
+			}
+		}
+	}
+}
+
+func (s *storeMachine) removeRec(v, other int32) int32 {
+	recs := s.edges[v]
+	for i := range recs {
+		if recs[i].other == other {
+			recs[i] = recs[len(recs)-1]
+			s.edges[v] = recs[:len(recs)-1]
+			if len(s.edges[v]) == 0 {
+				delete(s.edges, v)
+			}
+			return edgeWords
+		}
+	}
+	return 0
+}
+
+func (s *storeMachine) HandleRound(ctx *mpc.Ctx, inbox []mpc.Message) {
+	for _, raw := range inbox {
+		m, ok := raw.Payload.(cmsg)
+		if !ok {
+			continue
+		}
+		switch m.Kind {
+		case cStore:
+			freed := s.applyH(m.H)
+			s.edges[m.V] = append(s.edges[m.V], m.Rec)
+			if freed > 0 {
+				ctx.Send(0, cmsg{Kind: cAck, Seq: -1, Target: int32(s.id), Freed: freed}, 4)
+			}
+		case cRefresh:
+			freed := s.applyH(m.H)
+			ctx.Send(0, cmsg{Kind: cAck, Seq: -1, Target: int32(s.id), Freed: freed}, 4)
+		case cScan:
+			freed := s.applyH(m.H)
+			reply := cmsg{Kind: cScanRep, Seq: m.Seq, V: m.V, Target: int32(s.id), Freed: freed}
+			for _, r := range s.edges[m.V] {
+				if m.WantFree && !r.matched && r.other != m.Exclude {
+					reply.FoundFree, reply.FreeW, reply.Rec = true, r.other, r
+					break
+				}
+				if m.WantSteal && !reply.FoundSteal && r.matched && !r.mateHeavy {
+					reply.FoundSteal, reply.StealW, reply.StealMate = true, r.other, r.mate
+					reply.Rec = r
+				}
+			}
+			if reply.FoundFree {
+				reply.FoundSteal = false
+			}
+			ctx.Send(0, reply, 12)
+		case cList:
+			freed := s.applyH(m.H)
+			recs := append([]edgeRec(nil), s.edges[m.V]...)
+			ctx.Send(0, cmsg{
+				Kind: cListRep, Seq: m.Seq, V: m.V, Target: int32(s.id),
+				Freed: freed, Recs: recs,
+			}, 4+edgeWords*len(recs))
+		case cMoveOut:
+			freed := s.applyH(m.H)
+			recs := s.edges[m.V]
+			delete(s.edges, m.V)
+			freed += int32(len(recs) * edgeWords)
+			ctx.Send(int(m.Target), cmsg{
+				Kind: cMoveIn, Seq: m.Seq, V: m.V, Recs: recs, Keep: m.Keep, Overflow: m.Overflow,
+			}, 2+edgeWords*len(recs))
+			ctx.Send(0, cmsg{Kind: cAck, Seq: m.Seq, Target: int32(s.id), Freed: freed}, 4)
+		case cMoveIn:
+			recs := m.Recs
+			kept := recs
+			if m.Keep >= 0 && int(m.Keep) < len(recs) {
+				kept = recs[:m.Keep]
+			}
+			s.edges[m.V] = append(s.edges[m.V], kept...)
+			ctx.Send(0, cmsg{
+				Kind: cAck, Seq: m.Seq, Target: int32(s.id),
+				Used: int32(len(kept) * edgeWords), Count: int32(len(kept)),
+			}, 5)
+			if m.Overflow >= 0 {
+				rest := recs[len(kept):]
+				ctx.Send(int(m.Overflow), cmsg{
+					Kind: cMoveIn, Seq: m.Seq, V: m.V, Recs: rest, Keep: -1, Overflow: -1,
+				}, 2+edgeWords*len(rest))
+			}
+		}
+	}
+}

@@ -1,0 +1,351 @@
+// Package dyncon implements §5 of the paper: fully-dynamic connected
+// components — and, in MST mode, the §5.1 (1+ε)-approximate minimum
+// spanning tree — in the DMPC model, with O(1) rounds per update in the
+// worst case, O(√N) active machines and O(√N) total communication per
+// round.
+//
+// # Distribution of state
+//
+// Vertices are hash-partitioned over the machines; the owner of a vertex
+// stores its component label and its incident edge records. A tree edge
+// record holds the four Euler-tour positions of its two arcs (from which
+// the child endpoint and its subtree interval [f(child), l(child)] can be
+// read off locally — the inner position pair). A non-tree edge record
+// holds one anchor position per endpoint plus a per-anchor component
+// label; an anchor is any surviving tour appearance of that endpoint.
+// Component sizes live on a registry machine per component (component id
+// mod µ).
+//
+// # Protocol
+//
+// Every update is orchestrated by the owner of the update's first
+// endpoint. It gathers f/l values from the endpoint owners (computed on
+// demand from their local arc positions — the paper's "x and y can simply
+// learn those by sending and receiving an appropriate message"), reads
+// component sizes from the registry, and then broadcasts a single O(1)-word
+// message carrying the etour.Shift descriptors. Every machine applies the
+// shifts to every position it stores; because the maps are conditioned on
+// position values and component labels only, mirrored anchors stay
+// consistent with no further communication — this is the property §5
+// leverages to avoid Ω(N) neighbor updates. After a cut, machines scan
+// their non-tree records for anchors in different components (a crossing
+// edge) and report at most one candidate each; the orchestrator links the
+// winner back in, promoting it to a tree edge.
+//
+// In MST mode an insertion into a connected component first locates the
+// maximum-weight tree edge on the cycle via the ancestor trick: a tree
+// edge lies on the x..y path iff its child interval contains exactly one
+// of f(x), f(y), so every machine can evaluate its own records against the
+// broadcast f values and report a local maximum.
+package dyncon
+
+import (
+	"fmt"
+
+	"dmpc/internal/etour"
+	"dmpc/internal/graph"
+	"dmpc/internal/mpc"
+)
+
+// Mode selects plain connectivity or minimum-spanning-tree maintenance.
+type Mode int
+
+const (
+	// CC maintains an arbitrary spanning forest (connected components).
+	CC Mode = iota
+	// MST maintains a minimum spanning forest of the (bucketed) weights.
+	MST
+)
+
+// Config configures a dynamic connectivity instance.
+type Config struct {
+	N    int  // number of vertices
+	Mode Mode // CC or MST
+	// Eps, for MST mode, buckets weights by powers of (1+Eps) as in the
+	// §5.1 preprocessing; 0 keeps weights exact (the forest is then an
+	// exact MSF, which the tests exploit).
+	Eps float64
+	// Machines and MemWords size the cluster; zero values auto-size from
+	// ExpectedEdges.
+	Machines      int
+	MemWords      int
+	ExpectedEdges int
+}
+
+// D is a fully-dynamic connectivity/MST structure over a simulated DMPC
+// cluster.
+type D struct {
+	cfg     Config
+	cluster *mpc.Cluster
+	shards  []*shard
+	seq     int64 // update sequence number, for fresh component ids
+	queryID int64
+}
+
+// New builds the structure with an empty graph. Use Preprocess to load an
+// initial graph with the static-preprocessing accounting of §5.
+func New(cfg Config) *D {
+	if cfg.N <= 0 {
+		panic("dyncon: need at least one vertex")
+	}
+	exp := cfg.ExpectedEdges
+	if exp <= 0 {
+		exp = 4 * cfg.N
+	}
+	auto := mpc.Auto(cfg.N+2*exp, 8)
+	if cfg.Machines > 0 {
+		auto.Machines = cfg.Machines
+	}
+	if cfg.MemWords > 0 {
+		auto.MemWords = cfg.MemWords
+	}
+	// The orchestrator's broadcast ships a ~31-word shift descriptor to
+	// every machine in one round; the per-round I/O cap S must absorb it.
+	// Both S and µ are Θ(√N), so this only pins the constant.
+	if min := 40*auto.Machines + 64; auto.MemWords < min {
+		auto.MemWords = min
+	}
+	d := &D{cfg: cfg}
+	d.cluster = mpc.NewCluster(auto)
+	d.shards = make([]*shard, auto.Machines)
+	for i := range d.shards {
+		d.shards[i] = newShard(i, auto.Machines, cfg)
+		d.cluster.SetMachine(i, d.shards[i])
+	}
+	// Initial singleton components: comp(v) = v, size 1, registered.
+	for v := 0; v < cfg.N; v++ {
+		d.shards[d.owner(v)].verts[int32(v)] = int64(v)
+		d.shards[d.registry(int64(v))].sizes[int64(v)] = 1
+	}
+	return d
+}
+
+func (d *D) owner(v int) int         { return v % len(d.shards) }
+func (d *D) registry(comp int64) int { return int(comp % int64(len(d.shards))) }
+
+// Cluster exposes the underlying cluster (stats, entropy metric).
+func (d *D) Cluster() *mpc.Cluster { return d.cluster }
+
+func (d *D) opWeight(w graph.Weight) graph.Weight {
+	if d.cfg.Mode == MST && d.cfg.Eps > 0 {
+		return graph.BucketWeight(w, d.cfg.Eps)
+	}
+	return w
+}
+
+// Insert adds edge (u,v) with weight w (ignored in CC mode), driving the
+// cluster for the O(1) rounds of the §5 protocol. It returns the update's
+// accounting.
+func (d *D) Insert(u, v int, w graph.Weight) mpc.UpdateStats {
+	return d.update(graph.Update{Op: graph.Insert, U: u, V: v, W: d.opWeight(w)})
+}
+
+// Delete removes edge (u,v).
+func (d *D) Delete(u, v int) mpc.UpdateStats {
+	return d.update(graph.Update{Op: graph.Delete, U: u, V: v})
+}
+
+func (d *D) update(up graph.Update) mpc.UpdateStats {
+	d.seq++
+	d.cluster.BeginUpdate()
+	d.cluster.Send(mpc.Message{
+		From: -1, To: d.owner(up.U),
+		Payload: wire{
+			Kind: kUpdate, U: int32(up.U), V: int32(up.V), W: int64(up.W),
+			Seq: d.seq, Flag: up.Op == graph.Delete,
+		},
+		Words: 6,
+	})
+	if n := d.cluster.Run(64); n >= 64 {
+		panic(fmt.Sprintf("dyncon: update %v did not quiesce in 64 rounds", up))
+	}
+	return d.cluster.EndUpdate()
+}
+
+// Connected answers a connectivity query through the cluster (two rounds,
+// two active machines, O(1) words — the query path of §5).
+func (d *D) Connected(u, v int) bool {
+	d.queryID++
+	qid := d.queryID
+	d.cluster.Send(mpc.Message{
+		From: -1, To: d.owner(u),
+		Payload: wire{Kind: kQuery, U: int32(u), V: int32(v), Seq: qid},
+		Words:   4,
+	})
+	d.cluster.Run(8)
+	sh := d.shards[d.owner(v)]
+	res, ok := sh.queryResults[qid]
+	if !ok {
+		panic("dyncon: query result missing")
+	}
+	delete(sh.queryResults, qid)
+	return res
+}
+
+// CompOf returns v's component label by inspecting the shard directly
+// (driver-side oracle access; not part of the protocol accounting).
+func (d *D) CompOf(v int) int64 {
+	return d.shards[d.owner(v)].verts[int32(v)]
+}
+
+// ForestEdges returns the maintained spanning forest (driver-side oracle
+// access for validation).
+func (d *D) ForestEdges() []graph.WEdge {
+	var out []graph.WEdge
+	for _, sh := range d.shards {
+		for k, rec := range sh.tree {
+			if int(k.U)%len(d.shards) == sh.id { // report once, at U's owner
+				out = append(out, graph.WEdge{U: int(k.U), V: int(k.V), W: graph.Weight(rec.w)})
+			}
+		}
+	}
+	return out
+}
+
+// NonTreeEdges returns the stored non-tree records (driver-side oracle).
+func (d *D) NonTreeEdges() []graph.WEdge {
+	var out []graph.WEdge
+	for _, sh := range d.shards {
+		for k, rec := range sh.nontree {
+			if int(k.U)%len(d.shards) == sh.id {
+				out = append(out, graph.WEdge{U: int(k.U), V: int(k.V), W: graph.Weight(rec.w)})
+			}
+		}
+	}
+	return out
+}
+
+// ForestWeight sums the maintained forest's operative weights.
+func (d *D) ForestWeight() graph.Weight {
+	var total graph.Weight
+	for _, e := range d.ForestEdges() {
+		total += e.W
+	}
+	return total
+}
+
+// Validate cross-checks the distributed state: owner copies of each record
+// must agree, every component's positions must reassemble into a valid
+// Euler tour, registry sizes must match vertex counts, and every non-tree
+// anchor must be a genuine appearance of its endpoint with consistent
+// component labels. Driver-side; used by tests after every update.
+func (d *D) Validate() error {
+	type agg struct {
+		rec  treeRec
+		seen int
+	}
+	all := map[graph.Edge]*agg{}
+	for _, sh := range d.shards {
+		for k, rec := range sh.tree {
+			if a, ok := all[k]; ok {
+				a.seen++
+				if a.rec.pos != rec.pos || a.rec.comp != rec.comp || a.rec.w != rec.w {
+					return fmt.Errorf("edge %v: owner copies disagree", k)
+				}
+			} else {
+				all[k] = &agg{rec: *rec, seen: 1}
+			}
+		}
+	}
+	for ge, a := range all {
+		want := 2
+		if d.owner(ge.U) == d.owner(ge.V) {
+			want = 1
+		}
+		if a.seen != want {
+			return fmt.Errorf("edge %v: %d copies, want %d", ge, a.seen, want)
+		}
+	}
+
+	// Registry sizes vs vertex labels.
+	sizes := map[int64]int{}
+	for _, sh := range d.shards {
+		for c, s := range sh.sizes {
+			sizes[c] = s
+		}
+	}
+	counts := map[int64]int{}
+	for v := 0; v < d.cfg.N; v++ {
+		counts[d.CompOf(v)]++
+	}
+	for c, k := range counts {
+		if sizes[c] != k {
+			return fmt.Errorf("component %d: registry size %d, actual %d", c, sizes[c], k)
+		}
+	}
+
+	// Reassemble tours per component.
+	tours := map[int64][]int{}
+	for c, k := range counts {
+		tours[c] = make([]int, 4*(k-1))
+	}
+	place := func(c int64, pos, vert int) error {
+		t := tours[c]
+		if pos < 1 || pos > len(t) {
+			return fmt.Errorf("component %d: position %d outside tour of length %d", c, pos, len(t))
+		}
+		if t[pos-1] != 0 && t[pos-1] != vert+1 {
+			return fmt.Errorf("component %d: position %d claimed by %d and %d", c, pos, t[pos-1]-1, vert)
+		}
+		t[pos-1] = vert + 1 // store +1 so 0 means empty
+		return nil
+	}
+	for ge, a := range all {
+		c := a.rec.comp
+		if d.CompOf(ge.U) != c || d.CompOf(ge.V) != c {
+			return fmt.Errorf("edge %v: component label %d disagrees with endpoints", ge, c)
+		}
+		p := a.rec.pos
+		for _, pv := range [4][2]int{{p.UV[0], p.U}, {p.UV[1], p.V}, {p.VU[0], p.V}, {p.VU[1], p.U}} {
+			if err := place(c, pv[0], pv[1]); err != nil {
+				return err
+			}
+		}
+	}
+	appear := map[int64]map[int]map[int]bool{} // comp -> vertex -> positions
+	for c, t := range tours {
+		seq := make([]int, len(t))
+		appear[c] = map[int]map[int]bool{}
+		for i, x := range t {
+			if x == 0 {
+				return fmt.Errorf("component %d: position %d unassigned", c, i+1)
+			}
+			seq[i] = x - 1
+			if appear[c][x-1] == nil {
+				appear[c][x-1] = map[int]bool{}
+			}
+			appear[c][x-1][i+1] = true
+		}
+		if err := etour.SeqFromSlice(seq).Valid(); err != nil {
+			return fmt.Errorf("component %d: %w", c, err)
+		}
+	}
+
+	// Non-tree anchors.
+	seenNT := map[graph.Edge]bool{}
+	for _, sh := range d.shards {
+		for ge, rec := range sh.nontree {
+			if seenNT[ge] {
+				continue
+			}
+			seenNT[ge] = true
+			cu, cv := d.CompOf(ge.U), d.CompOf(ge.V)
+			if cu != cv {
+				return fmt.Errorf("non-tree edge %v spans components %d and %d", ge, cu, cv)
+			}
+			if rec.cU != cu || rec.cV != cv {
+				return fmt.Errorf("non-tree edge %v: anchor comps (%d,%d) want %d", ge, rec.cU, rec.cV, cu)
+			}
+			for _, av := range [2][2]int{{rec.aU, ge.U}, {rec.aV, ge.V}} {
+				anchor, vert := av[0], av[1]
+				if anchor == 0 {
+					return fmt.Errorf("non-tree edge %v: lingering singleton anchor for %d", ge, vert)
+				}
+				if !appear[cu][vert][anchor] {
+					return fmt.Errorf("non-tree edge %v: anchor %d is not an appearance of %d", ge, anchor, vert)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,773 @@
+package dyncon
+
+import (
+	"fmt"
+	"sort"
+
+	"dmpc/internal/etour"
+	"dmpc/internal/graph"
+	"dmpc/internal/mpc"
+)
+
+// Message kinds of the §5 protocol.
+type kind int32
+
+const (
+	kUpdate      kind = iota // external update, delivered to owner(U)
+	kInfoReq                 // orchestrator -> owner(v): report comp, f, l
+	kInfoRep                 // owner -> orchestrator
+	kSizeReq                 // orchestrator -> registry(comp)
+	kSizeRep                 // registry -> orchestrator
+	kDoLink                  // broadcast: apply link shifts, add tree record
+	kAddNonTree              // orchestrator -> owners: store a non-tree record
+	kDelNonTree              // orchestrator -> owner: drop a non-tree record
+	kDoCut                   // broadcast: apply cut shifts, report candidates
+	kCandidate               // machine -> orchestrator: replacement candidate
+	kPathMaxReq              // broadcast (MST): report max tree edge on path
+	kPathMaxRep              // machine -> orchestrator
+	kQuery                   // external connectivity query at owner(u)
+	kQueryFwd                // owner(u) -> owner(v)
+	kIntervalReq             // orchestrator -> record owner: child interval of a tree edge
+	kIntervalRep
+)
+
+// wire is the single message payload of the protocol; Kind selects which
+// fields are meaningful. Words charged per message reflect the populated
+// field count, all O(1).
+type wire struct {
+	Kind        kind
+	U, V        int32
+	W           int64
+	Seq         int64
+	Comp, Comp2 int64
+	F, L        int
+	Size        int
+	Q, Ly       int
+	Fy, LyCut   int // cut interval
+	TourLen     int
+	SubSize     int
+	RestSize    int
+	Shifts      []etour.Shift
+	Pos         etour.EdgePos
+	AnchorU     int
+	AnchorV     int
+	Promote     bool
+	Convert     bool // cut converts the edge to non-tree (MST swap)
+	NoReplace   bool
+	ReplyTo     int32
+	Found       bool
+	Flag        bool
+}
+
+func (w wire) words() int { return 16 + 5*len(w.Shifts) }
+
+// treeRec is one tree edge's state: its four tour positions (etour.EdgePos,
+// self-describing), the component and the operative weight.
+type treeRec struct {
+	pos  etour.EdgePos
+	comp int64
+	w    int64
+}
+
+// ntRec is a non-tree edge: one anchor position and component per endpoint.
+// Anchors are arbitrary surviving tour appearances of their endpoint; 0
+// marks an endpoint that is currently a singleton (only possible while the
+// record crosses a fresh cut, and then that endpoint is always a named
+// endpoint of the healing link).
+type ntRec struct {
+	aU, aV int
+	cU, cV int64
+	w      int64
+}
+
+// pending tracks one in-flight orchestration at the coordinator-for-this-
+// update (the owner of the update's first endpoint).
+type pending struct {
+	op    graph.Update
+	stage int
+
+	gotU, gotV   bool
+	compU, compV int64
+	fU, lU       int
+	fV, lV       int
+
+	gotSizeU, gotSizeV bool
+	sizeU, sizeV       int
+
+	// cut state
+	cutEdge  graph.Edge
+	cutW     int64
+	cutComp  int64
+	newComp  int64
+	fy, ly   int
+	subSize  int
+	restSize int
+	convert  bool
+
+	// pathmax / candidate collection
+	replies   int
+	bestFound bool
+	bestU     int32
+	bestV     int32
+	bestW     int64
+
+	// after a swap-cut, link the pending edge
+	relinkU, relinkV int32
+	relinkW          int64
+	relinkPromote    bool
+}
+
+const (
+	stInfo = iota
+	stSizes
+	stPathMax
+	stInterval
+	stSizeForCut
+	stCandidates
+	stInfoRelink
+	stSizeForSwapCut
+)
+
+type shard struct {
+	id, mu int
+	cfg    Config
+
+	verts        map[int32]int64
+	tree         map[graph.Edge]*treeRec
+	nontree      map[graph.Edge]*ntRec
+	sizes        map[int64]int
+	queryResults map[int64]bool
+	pend         map[int64]*pending
+	qcomp        map[int64]int64 // in-flight query: seq -> comp(u)
+}
+
+func newShard(id, mu int, cfg Config) *shard {
+	return &shard{
+		id: id, mu: mu, cfg: cfg,
+		verts:        make(map[int32]int64),
+		tree:         make(map[graph.Edge]*treeRec),
+		nontree:      make(map[graph.Edge]*ntRec),
+		sizes:        make(map[int64]int),
+		queryResults: make(map[int64]bool),
+		pend:         make(map[int64]*pending),
+		qcomp:        make(map[int64]int64),
+	}
+}
+
+func (s *shard) owner(v int32) int         { return int(v) % s.mu }
+func (s *shard) registry(comp int64) int32 { return int32(comp % int64(s.mu)) }
+
+func (s *shard) MemWords() int {
+	return 2*len(s.verts) + 7*len(s.tree) + 7*len(s.nontree) + 2*len(s.sizes)
+}
+
+// flOf computes f(v), l(v) from the locally stored tree records — the
+// on-demand computation §5 prescribes. Zero values mean singleton.
+func (s *shard) flOf(v int32) (f, l int) {
+	for e, rec := range s.tree {
+		if int32(e.U) != v && int32(e.V) != v {
+			continue
+		}
+		p := posOf(&rec.pos, int(v))
+		for _, i := range p {
+			if f == 0 || i < f {
+				f = i
+			}
+			if i > l {
+				l = i
+			}
+		}
+	}
+	return f, l
+}
+
+func posOf(e *etour.EdgePos, v int) [2]int {
+	if v == e.U {
+		return [2]int{e.UV[0], e.VU[1]}
+	}
+	return [2]int{e.UV[1], e.VU[0]}
+}
+
+// applyChain runs the shift list over one position with its component
+// label, honoring per-shift component conditioning and relabeling.
+func applyChain(shifts []etour.Shift, pos int, comp int64) (int, int64) {
+	if pos == 0 {
+		return pos, comp // singleton anchors are fixed by named-endpoint rules only
+	}
+	for _, sh := range shifts {
+		if comp != sh.Comp {
+			continue
+		}
+		moved := sh.Moves(pos)
+		pos = sh.Apply(pos)
+		if moved {
+			comp = sh.NewComp
+		}
+	}
+	return pos, comp
+}
+
+// applyChainRec shifts all four positions of a tree record. The positions
+// of one record always sit on the same side of any cut interval and share
+// one component trajectory, so the relabel computed for the first position
+// applies to the record.
+func applyChainRec(shifts []etour.Shift, rec *treeRec) {
+	var c int64
+	rec.pos.UV[0], c = applyChain(shifts, rec.pos.UV[0], rec.comp)
+	rec.pos.UV[1], _ = applyChain(shifts, rec.pos.UV[1], rec.comp)
+	rec.pos.VU[0], _ = applyChain(shifts, rec.pos.VU[0], rec.comp)
+	rec.pos.VU[1], _ = applyChain(shifts, rec.pos.VU[1], rec.comp)
+	rec.comp = c
+}
+
+func (s *shard) HandleRound(ctx *mpc.Ctx, inbox []mpc.Message) {
+	for _, m := range inbox {
+		w, ok := m.Payload.(wire)
+		if !ok {
+			continue
+		}
+		switch w.Kind {
+		case kUpdate:
+			s.startUpdate(ctx, w)
+		case kInfoReq:
+			f, l := s.flOf(w.U)
+			ctx.Send(int(w.ReplyTo), wire{
+				Kind: kInfoRep, U: w.U, Seq: w.Seq,
+				Comp: s.verts[w.U], F: f, L: l,
+			}, 7)
+		case kInfoRep:
+			s.onInfo(ctx, w)
+		case kSizeReq:
+			ctx.Send(int(w.ReplyTo), wire{
+				Kind: kSizeRep, Comp: w.Comp, Seq: w.Seq, Size: s.sizes[w.Comp],
+			}, 5)
+		case kSizeRep:
+			s.onSize(ctx, w)
+		case kDoLink:
+			s.onDoLink(ctx, w)
+		case kAddNonTree:
+			e := graph.NormEdge(int(w.U), int(w.V))
+			au, av, cu, cv := w.AnchorU, w.AnchorV, w.Comp, w.Comp
+			if e.U != int(w.U) {
+				au, av = av, au
+			}
+			s.nontree[e] = &ntRec{aU: au, aV: av, cU: cu, cV: cv, w: w.W}
+		case kDelNonTree:
+			delete(s.nontree, graph.NormEdge(int(w.U), int(w.V)))
+		case kDoCut:
+			s.onDoCut(ctx, w)
+		case kCandidate:
+			s.onCandidate(ctx, w)
+		case kPathMaxReq:
+			s.onPathMaxReq(ctx, w)
+		case kPathMaxRep:
+			s.onPathMaxRep(ctx, w)
+		case kQuery:
+			ctx.Send(s.owner(w.V), wire{
+				Kind: kQueryFwd, U: w.U, V: w.V, Seq: w.Seq, Comp: s.verts[w.U],
+			}, 5)
+		case kQueryFwd:
+			s.queryResults[w.Seq] = s.verts[w.V] == w.Comp
+		case kIntervalReq:
+			s.onIntervalReq(ctx, w)
+		case kIntervalRep:
+			s.onIntervalRep(ctx, w)
+		}
+	}
+}
+
+// startUpdate begins orchestration at the owner of the update's endpoint.
+// Deletes are marked by w.Flag.
+func (s *shard) startUpdate(ctx *mpc.Ctx, w wire) {
+	e := graph.NormEdge(int(w.U), int(w.V))
+	if w.U == w.V {
+		return
+	}
+	if !w.Flag {
+		// Duplicate check: the orchestrator owns U and hence every record
+		// incident to U.
+		if _, dup := s.tree[e]; dup {
+			return
+		}
+		if _, dup := s.nontree[e]; dup {
+			return
+		}
+		p := &pending{op: graph.Update{Op: graph.Insert, U: int(w.U), V: int(w.V), W: graph.Weight(w.W)}, stage: stInfo}
+		s.pend[w.Seq] = p
+		s.sendInfoReqs(ctx, w.Seq, w.U, w.V)
+		return
+	}
+	// Delete.
+	if rec, ok := s.nontree[e]; ok {
+		_ = rec
+		delete(s.nontree, e)
+		if s.owner(int32(e.V)) != s.id || s.owner(int32(e.U)) != s.id {
+			other := s.owner(int32(e.V))
+			if other == s.id {
+				other = s.owner(int32(e.U))
+			}
+			ctx.Send(other, wire{Kind: kDelNonTree, U: int32(e.U), V: int32(e.V)}, 3)
+		}
+		return
+	}
+	rec, ok := s.tree[e]
+	if !ok {
+		return // unknown edge
+	}
+	// Tree edge: identify the child interval from the inner position pair.
+	fy, ly := childInterval(&rec.pos)
+	p := &pending{
+		op:      graph.Update{Op: graph.Delete, U: int(w.U), V: int(w.V)},
+		stage:   stSizeForCut,
+		cutEdge: e, cutW: rec.w, cutComp: rec.comp,
+		fy: fy, ly: ly,
+		newComp: int64(s.cfg.N) + 2*w.Seq,
+	}
+	s.pend[w.Seq] = p
+	ctx.Send(int(s.registry(rec.comp)), wire{
+		Kind: kSizeReq, Comp: rec.comp, Seq: w.Seq, ReplyTo: int32(s.id),
+	}, 5)
+}
+
+// childInterval extracts the child endpoint's [f,l] from an edge record:
+// the inner pair of its four positions.
+func childInterval(e *etour.EdgePos) (fy, ly int) {
+	ps := []int{e.UV[0], e.UV[1], e.VU[0], e.VU[1]}
+	sort.Ints(ps)
+	return ps[1], ps[2]
+}
+
+func (s *shard) sendInfoReqs(ctx *mpc.Ctx, seq int64, u, v int32) {
+	ctx.Send(s.owner(u), wire{Kind: kInfoReq, U: u, Seq: seq, ReplyTo: int32(s.id)}, 4)
+	ctx.Send(s.owner(v), wire{Kind: kInfoReq, U: v, Seq: seq, ReplyTo: int32(s.id)}, 4)
+}
+
+func (s *shard) onInfo(ctx *mpc.Ctx, w wire) {
+	p, ok := s.pend[w.Seq]
+	if !ok {
+		return
+	}
+	var u, v int32
+	if p.stage == stInfoRelink {
+		u, v = p.relinkU, p.relinkV
+	} else {
+		u, v = int32(p.op.U), int32(p.op.V)
+	}
+	if w.U == u {
+		p.gotU, p.compU, p.fU, p.lU = true, w.Comp, w.F, w.L
+	}
+	if w.U == v {
+		p.gotV, p.compV, p.fV, p.lV = true, w.Comp, w.F, w.L
+	}
+	if !p.gotU || !p.gotV {
+		return
+	}
+	switch p.stage {
+	case stInfo:
+		if p.compU == p.compV {
+			if s.cfg.Mode == MST {
+				// Look for a heavier tree edge on the cycle.
+				p.stage = stPathMax
+				p.replies = 0
+				p.bestFound = false
+				ctx.Broadcast(wire{
+					Kind: kPathMaxReq, Seq: w.Seq, Comp: p.compU,
+					F: p.fU, L: p.lU, Fy: p.fV, LyCut: p.lV,
+					ReplyTo: int32(s.id),
+				}, 9, true)
+				return
+			}
+			s.sendAddNonTree(ctx, int32(p.op.U), int32(p.op.V), int64(p.op.W), p.compU, p.fU, p.fV)
+			delete(s.pend, w.Seq)
+			return
+		}
+		p.stage = stSizes
+		s.sendSizeReqs(ctx, w.Seq, p.compU, p.compV)
+	case stInfoRelink:
+		// Sizes of both components are already known from the cut.
+		sizeU, sizeV := p.restSize, p.subSize
+		if p.compU == p.newComp {
+			sizeU, sizeV = p.subSize, p.restSize
+		}
+		s.broadcastLink(ctx, w.Seq, p.relinkU, p.relinkV, p.relinkW,
+			p.compU, p.compV, sizeU, sizeV, p.fU, p.lU, p.fV, p.lV, p.relinkPromote)
+		delete(s.pend, w.Seq)
+	}
+}
+
+func (s *shard) sendSizeReqs(ctx *mpc.Ctx, seq int64, compU, compV int64) {
+	ctx.Send(int(s.registry(compU)), wire{Kind: kSizeReq, Comp: compU, Seq: seq, ReplyTo: int32(s.id)}, 5)
+	ctx.Send(int(s.registry(compV)), wire{Kind: kSizeReq, Comp: compV, Seq: seq, ReplyTo: int32(s.id)}, 5)
+}
+
+func (s *shard) sendAddNonTree(ctx *mpc.Ctx, u, v int32, w int64, comp int64, au, av int) {
+	msg := wire{Kind: kAddNonTree, U: u, V: v, W: w, Comp: comp, AnchorU: au, AnchorV: av}
+	ctx.Send(s.owner(u), msg, 8)
+	if s.owner(v) != s.owner(u) {
+		ctx.Send(s.owner(v), msg, 8)
+	}
+}
+
+func (s *shard) onSize(ctx *mpc.Ctx, w wire) {
+	p, ok := s.pend[w.Seq]
+	if !ok {
+		return
+	}
+	switch p.stage {
+	case stSizes:
+		if w.Comp == p.compU {
+			p.gotSizeU, p.sizeU = true, w.Size
+		}
+		if w.Comp == p.compV {
+			p.gotSizeV, p.sizeV = true, w.Size
+		}
+		if !p.gotSizeU || !p.gotSizeV {
+			return
+		}
+		s.broadcastLink(ctx, w.Seq, int32(p.op.U), int32(p.op.V), int64(p.op.W),
+			p.compU, p.compV, p.sizeU, p.sizeV, p.fU, p.lU, p.fV, p.lV, false)
+		delete(s.pend, w.Seq)
+	case stSizeForCut, stSizeForSwapCut:
+		size := w.Size
+		L := 4 * (size - 1)
+		p.subSize = (p.ly-p.fy-1)/4 + 1
+		p.restSize = size - p.subSize
+		shifts := []etour.Shift{
+			{Kind: etour.ShiftCutRepair, Comp: p.cutComp, NewComp: p.newComp, A: p.fy, B: p.ly, C: L},
+			{Kind: etour.ShiftCutSub, Comp: p.cutComp, NewComp: p.newComp, A: p.fy, B: p.ly},
+			{Kind: etour.ShiftCutRest, Comp: p.cutComp, NewComp: p.cutComp, A: p.fy, B: p.ly},
+		}
+		p.replies = 0
+		p.bestFound = false
+		if p.stage == stSizeForCut {
+			p.stage = stCandidates
+		} else {
+			p.stage = stCandidates // swap cut also collects (empty) candidate replies
+		}
+		ctx.Broadcast(wire{
+			Kind: kDoCut, Seq: w.Seq,
+			U: int32(p.cutEdge.U), V: int32(p.cutEdge.V), W: p.cutW,
+			Comp: p.cutComp, Comp2: p.newComp,
+			Fy: p.fy, LyCut: p.ly, TourLen: L,
+			SubSize: p.subSize, RestSize: p.restSize,
+			Shifts:  shifts,
+			Convert: p.convert, NoReplace: p.convert,
+			ReplyTo: int32(s.id),
+		}, wire{Shifts: shifts}.words(), true)
+	}
+}
+
+// onDoCut applies a cut broadcast to the local shard and reports a
+// replacement candidate (or the lack of one) to the orchestrator.
+func (s *shard) onDoCut(ctx *mpc.Ctx, w wire) {
+	e := graph.NormEdge(int(w.U), int(w.V))
+	fy, ly := w.Fy, w.LyCut
+	restSingleton := fy == 2 && ly == w.TourLen-1
+	compOld, compNew := w.Comp, w.Comp2
+
+	var captured *treeRec
+	if rec, ok := s.tree[e]; ok {
+		captured = rec
+		delete(s.tree, e)
+	}
+
+	// Tree records: all four positions shift together.
+	for _, rec := range s.tree {
+		applyChainRec(w.Shifts, rec)
+	}
+	// Non-tree anchors: per anchor.
+	for _, rec := range s.nontree {
+		rec.aU, rec.cU = applyChain(w.Shifts, rec.aU, rec.cU)
+		rec.aV, rec.cV = applyChain(w.Shifts, rec.aV, rec.cV)
+	}
+	// Vertex labels: an owned vertex adopts the component of any of its
+	// incident (already shifted) tree records; the named child endpoint is
+	// handled explicitly below since it may have lost its only record.
+	vcomp := make(map[int32]int64, 2*len(s.tree))
+	for ge, rec := range s.tree {
+		vcomp[int32(ge.U)] = rec.comp
+		vcomp[int32(ge.V)] = rec.comp
+	}
+	for v, comp := range s.verts {
+		if comp != compOld {
+			continue
+		}
+		if c, ok := vcomp[v]; ok {
+			s.verts[v] = c
+		}
+	}
+	// Named endpoints: the child (whose interval was [fy,ly] pre-cut) is
+	// the endpoint appearing at fy on the captured record.
+	if captured != nil {
+		child, parent := int(w.U), int(w.V)
+		pu := posOf(&captured.pos, int(w.U))
+		if pu[0] != fy && pu[1] != fy {
+			child, parent = int(w.V), int(w.U)
+		}
+		if s.owner(int32(child)) == s.id {
+			s.verts[int32(child)] = compNew
+		}
+		if w.Convert && (s.owner(int32(e.U)) == s.id || s.owner(int32(e.V)) == s.id) {
+			// Re-add the evicted MST edge as a non-tree record with
+			// repaired anchors; the repair shift handles the singleton
+			// endpoints (position 0, fresh component) uniformly.
+			pU := posOf(&captured.pos, e.U)[0]
+			pV := posOf(&captured.pos, e.V)[0]
+			aU, cU := applyChain(w.Shifts, pU, compOld)
+			aV, cV := applyChain(w.Shifts, pV, compOld)
+			if restSingleton {
+				if e.U == parent {
+					aU, cU = 0, compOld
+				} else {
+					aV, cV = 0, compOld
+				}
+			}
+			s.nontree[e] = &ntRec{aU: aU, aV: aV, cU: cU, cV: cV, w: w.W}
+		}
+	}
+	// Registry updates.
+	if s.registry(compOld) == int32(s.id) {
+		s.sizes[compOld] = w.RestSize
+	}
+	if s.registry(compNew) == int32(s.id) {
+		s.sizes[compNew] = w.SubSize
+	}
+
+	// Candidate scan.
+	reply := wire{Kind: kCandidate, Seq: w.Seq, Found: false}
+	if !w.NoReplace {
+		for ge, rec := range s.nontree {
+			crossing := (rec.cU == compOld && rec.cV == compNew) ||
+				(rec.cU == compNew && rec.cV == compOld)
+			if !crossing {
+				continue
+			}
+			if !reply.Found || betterCandidate(s.cfg.Mode, rec.w, int32(ge.U), int32(ge.V), reply.W, reply.U, reply.V) {
+				reply.Found = true
+				reply.U, reply.V, reply.W = int32(ge.U), int32(ge.V), rec.w
+			}
+		}
+	}
+	ctx.Send(int(w.ReplyTo), reply, 6)
+}
+
+// betterCandidate orders replacement candidates: min weight first in MST
+// mode, then lexicographic ids for determinism.
+func betterCandidate(mode Mode, w int64, u, v int32, bw int64, bu, bv int32) bool {
+	if mode == MST && w != bw {
+		return w < bw
+	}
+	if u != bu {
+		return u < bu
+	}
+	return v < bv
+}
+
+func (s *shard) onCandidate(ctx *mpc.Ctx, w wire) {
+	p, ok := s.pend[w.Seq]
+	if !ok || p.stage != stCandidates {
+		return
+	}
+	p.replies++
+	if w.Found && (!p.bestFound || betterCandidate(s.cfg.Mode, w.W, w.U, w.V, p.bestW, p.bestU, p.bestV)) {
+		p.bestFound = true
+		p.bestU, p.bestV, p.bestW = w.U, w.V, w.W
+	}
+	if p.replies < s.mu {
+		return
+	}
+	if p.convert {
+		// Swap cut complete: now link the originally inserted edge.
+		p.stage = stInfoRelink
+		p.relinkU, p.relinkV = int32(p.op.U), int32(p.op.V)
+		p.relinkW = int64(p.op.W)
+		p.relinkPromote = false
+		p.gotU, p.gotV = false, false
+		s.sendInfoReqs(ctx, w.Seq, p.relinkU, p.relinkV)
+		return
+	}
+	if !p.bestFound {
+		delete(s.pend, w.Seq) // components stay split
+		return
+	}
+	// Promote the winning non-tree edge to a tree edge via a link.
+	p.stage = stInfoRelink
+	p.relinkU, p.relinkV = p.bestU, p.bestV
+	p.relinkW = p.bestW
+	p.relinkPromote = true
+	p.gotU, p.gotV = false, false
+	s.sendInfoReqs(ctx, w.Seq, p.bestU, p.bestV)
+}
+
+func (s *shard) onPathMaxReq(ctx *mpc.Ctx, w wire) {
+	// Broadcast fields: F,L = f(x),l(x); Fy,LyCut = f(y),l(y); Comp.
+	fx, fy := w.F, w.Fy
+	reply := wire{Kind: kPathMaxRep, Seq: w.Seq, Found: false}
+	for ge, rec := range s.tree {
+		if rec.comp != w.Comp {
+			continue
+		}
+		cf, cl := childInterval(&rec.pos)
+		onPath := (cf <= fx && fx <= cl) != (cf <= fy && fy <= cl)
+		if !onPath {
+			continue
+		}
+		if !reply.Found || rec.w > reply.W ||
+			(rec.w == reply.W && (int32(ge.U) < reply.U || (int32(ge.U) == reply.U && int32(ge.V) < reply.V))) {
+			reply.Found = true
+			reply.U, reply.V, reply.W = int32(ge.U), int32(ge.V), rec.w
+		}
+	}
+	ctx.Send(int(w.ReplyTo), reply, 6)
+}
+
+func (s *shard) onPathMaxRep(ctx *mpc.Ctx, w wire) {
+	p, ok := s.pend[w.Seq]
+	if !ok || p.stage != stPathMax {
+		return
+	}
+	p.replies++
+	if w.Found && (!p.bestFound || w.W > p.bestW ||
+		(w.W == p.bestW && (w.U < p.bestU || (w.U == p.bestU && w.V < p.bestV)))) {
+		p.bestFound = true
+		p.bestU, p.bestV, p.bestW = w.U, w.V, w.W
+	}
+	if p.replies < s.mu {
+		return
+	}
+	if !p.bestFound || p.bestW <= int64(p.op.W) {
+		// Keep the forest; the new edge becomes non-tree.
+		s.sendAddNonTree(ctx, int32(p.op.U), int32(p.op.V), int64(p.op.W), p.compU, p.fU, p.fV)
+		delete(s.pend, w.Seq)
+		return
+	}
+	// Swap: cut the heaviest cycle edge (converting it to non-tree), then
+	// link the new edge. The child interval lives on the evicted edge's
+	// record at its owner; fetch it, then the component size.
+	p.convert = true
+	p.cutEdge = graph.NormEdge(int(p.bestU), int(p.bestV))
+	p.cutW = p.bestW
+	p.cutComp = p.compU
+	p.newComp = int64(s.cfg.N) + 2*w.Seq + 1
+	p.stage = stInterval
+	ctx.Send(s.owner(p.bestU), wire{
+		Kind: kIntervalReq, U: p.bestU, V: p.bestV, Seq: w.Seq, ReplyTo: int32(s.id),
+	}, 5)
+}
+
+func (s *shard) onIntervalReq(ctx *mpc.Ctx, w wire) {
+	e := graph.NormEdge(int(w.U), int(w.V))
+	rec, ok := s.tree[e]
+	if !ok {
+		panic(fmt.Sprintf("dyncon: interval request for unknown tree edge %v at machine %d", e, s.id))
+	}
+	fy, ly := childInterval(&rec.pos)
+	ctx.Send(int(w.ReplyTo), wire{Kind: kIntervalRep, Seq: w.Seq, Fy: fy, LyCut: ly}, 5)
+}
+
+func (s *shard) onIntervalRep(ctx *mpc.Ctx, w wire) {
+	p, ok := s.pend[w.Seq]
+	if !ok || p.stage != stInterval {
+		return
+	}
+	p.fy, p.ly = w.Fy, w.LyCut
+	p.stage = stSizeForSwapCut
+	ctx.Send(int(s.registry(p.cutComp)), wire{
+		Kind: kSizeReq, Comp: p.cutComp, Seq: w.Seq, ReplyTo: int32(s.id),
+	}, 5)
+}
+
+// broadcastLink computes the §5 insert plan (reroot of the guest tree,
+// host tail shift, guest splice shift, the new edge's four positions) and
+// broadcasts it. All parameters derive from the endpoint f/l values and
+// component sizes, so one broadcast suffices.
+func (s *shard) broadcastLink(ctx *mpc.Ctx, seq int64, x, y int32, w int64,
+	compX, compY int64, sizeX, sizeY int, fx, lx, fy, ly int, promote bool) {
+
+	var shifts []etour.Shift
+	if sizeY > 1 && fy != 1 {
+		shifts = append(shifts, etour.Shift{
+			Kind: etour.ShiftReroot, Comp: compY, NewComp: compY,
+			A: 4 * (sizeY - 1), B: ly,
+		})
+	}
+	q := 0
+	switch {
+	case sizeX == 1:
+		q = 0
+	case fx == 1: // x roots its tree
+		q = 4 * (sizeX - 1)
+	default:
+		q = fx
+	}
+	Ly := 4 * (sizeY - 1)
+	shifts = append(shifts,
+		etour.Shift{Kind: etour.ShiftLinkHost, Comp: compX, NewComp: compX, A: q, B: Ly},
+		etour.Shift{Kind: etour.ShiftLinkGuest, Comp: compY, NewComp: compX, A: q, B: Ly},
+	)
+	e := graph.NormEdge(int(x), int(y))
+	pos := etour.EdgePos{U: e.U, V: e.V}
+	if e.U == int(x) {
+		pos.UV = [2]int{q + 1, q + 2}
+		pos.VU = [2]int{q + Ly + 3, q + Ly + 4}
+	} else {
+		pos.VU = [2]int{q + 1, q + 2}
+		pos.UV = [2]int{q + Ly + 3, q + Ly + 4}
+	}
+	msg := wire{
+		Kind: kDoLink, Seq: seq, U: x, V: y, W: w,
+		Comp: compX, Comp2: compY, Q: q, Ly: Ly,
+		Size: sizeX + sizeY, Shifts: shifts, Pos: pos, Promote: promote,
+	}
+	ctx.Broadcast(msg, msg.words(), true)
+}
+
+// onDoLink applies a link broadcast to the local shard.
+func (s *shard) onDoLink(ctx *mpc.Ctx, w wire) {
+	compX, compY := w.Comp, w.Comp2
+	for _, rec := range s.tree {
+		applyChainRec(w.Shifts, rec)
+	}
+	for _, rec := range s.nontree {
+		rec.aU, rec.cU = applyChain(w.Shifts, rec.aU, rec.cU)
+		rec.aV, rec.cV = applyChain(w.Shifts, rec.aV, rec.cV)
+	}
+	// Singleton anchors of the named endpoints receive their fresh
+	// positions: x appears at q+1, y at q+2 (a singleton's component can
+	// only be linked through its own vertex, so the names always cover
+	// anchor value 0).
+	for ge, rec := range s.nontree {
+		if rec.aU == 0 {
+			if int32(ge.U) == w.U && rec.cU == compX {
+				rec.aU = w.Q + 1
+			} else if int32(ge.U) == w.V && rec.cU == compY {
+				rec.aU, rec.cU = w.Q+2, compX
+			}
+		}
+		if rec.aV == 0 {
+			if int32(ge.V) == w.U && rec.cV == compX {
+				rec.aV = w.Q + 1
+			} else if int32(ge.V) == w.V && rec.cV == compY {
+				rec.aV, rec.cV = w.Q+2, compX
+			}
+		}
+	}
+	for v, comp := range s.verts {
+		if comp == compY {
+			s.verts[v] = compX
+		}
+	}
+	e := graph.NormEdge(int(w.U), int(w.V))
+	if s.owner(int32(e.U)) == s.id || s.owner(int32(e.V)) == s.id {
+		if w.Promote {
+			delete(s.nontree, e)
+		}
+		s.tree[e] = &treeRec{pos: w.Pos, comp: compX, w: w.W}
+	}
+	if s.registry(compX) == int32(s.id) {
+		s.sizes[compX] = w.Size
+	}
+	if s.registry(compY) == int32(s.id) {
+		delete(s.sizes, compY)
+	}
+}

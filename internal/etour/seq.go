@@ -1,0 +1,209 @@
+package etour
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Seq is a materialized Euler tour: the explicit sequence of vertex
+// appearances. It exists as an independent oracle for the index-arithmetic
+// Forest (the two implementations are cross-checked in tests) and to render
+// the paper's Figures 1 and 2. Position arguments and results are 1-based,
+// matching the paper; a singleton tree is the empty sequence.
+type Seq struct {
+	s []int
+}
+
+// SeqFromSlice wraps an explicit appearance sequence (1-based positions map
+// to slice indexes 0..) so external reconstructions can reuse Valid,
+// First/Last and Render.
+func SeqFromSlice(s []int) *Seq { return &Seq{s: append([]int(nil), s...)} }
+
+// BuildSeq constructs the canonical Euler tour of the tree containing root,
+// visiting children in ascending vertex order — the order used by the
+// paper's figures. adj maps each vertex to its tree neighbors.
+func BuildSeq(adj map[int][]int, root int) *Seq {
+	var s []int
+	seen := map[int]bool{root: true}
+	var dfs func(v int)
+	dfs = func(v int) {
+		nbrs := append([]int(nil), adj[v]...)
+		sort.Ints(nbrs)
+		for _, w := range nbrs {
+			if seen[w] {
+				continue
+			}
+			seen[w] = true
+			s = append(s, v, w) // arc v -> w
+			dfs(w)
+			s = append(s, w, v) // arc w -> v
+		}
+	}
+	dfs(root)
+	return &Seq{s: s}
+}
+
+// Len returns ELen, the tour length.
+func (t *Seq) Len() int { return len(t.s) }
+
+// At returns the vertex at 1-based position i.
+func (t *Seq) At(i int) int { return t.s[i-1] }
+
+// Slice returns a copy of the raw sequence.
+func (t *Seq) Slice() []int { return append([]int(nil), t.s...) }
+
+// First returns f(v), the 1-based first appearance of v, or 0 if absent.
+func (t *Seq) First(v int) int {
+	for i, x := range t.s {
+		if x == v {
+			return i + 1
+		}
+	}
+	return 0
+}
+
+// Last returns l(v), the 1-based last appearance of v, or 0 if absent.
+func (t *Seq) Last(v int) int {
+	for i := len(t.s) - 1; i >= 0; i-- {
+		if t.s[i] == v {
+			return i + 1
+		}
+	}
+	return 0
+}
+
+// Root returns the tour's root (the vertex at position 1), or -1 for the
+// empty tour.
+func (t *Seq) Root() int {
+	if len(t.s) == 0 {
+		return -1
+	}
+	return t.s[0]
+}
+
+// Reroot rotates the tour so y becomes the root. No-op if y already is.
+func (t *Seq) Reroot(y int) {
+	if len(t.s) == 0 || t.s[0] == y {
+		return
+	}
+	ly := t.Last(y) // 1-based; rotation starts at the arc (y, parent)
+	rotated := make([]int, 0, len(t.s))
+	rotated = append(rotated, t.s[ly-1:]...)
+	rotated = append(rotated, t.s[:ly-1]...)
+	t.s = rotated
+}
+
+// LinkSeq splices guest (which must be rooted at y, or be a singleton) into
+// host at host-vertex x, returning the merged tour. hostX identifies x; for
+// a singleton host the caller passes the singleton's vertex id.
+func LinkSeq(host *Seq, x int, guest *Seq, y int) *Seq {
+	// Splice point q: an even-aligned appearance of x.
+	q := 0
+	if host.Len() > 0 {
+		if host.Root() == x {
+			q = host.Len()
+		} else {
+			q = host.First(x) // even for non-root vertices
+		}
+	}
+	merged := make([]int, 0, host.Len()+guest.Len()+4)
+	merged = append(merged, host.s[:q]...)
+	merged = append(merged, x, y) // arc x -> y
+	merged = append(merged, guest.s...)
+	merged = append(merged, y, x) // arc y -> x
+	merged = append(merged, host.s[q:]...)
+	return &Seq{s: merged}
+}
+
+// CutSeq removes tree edge (x,y) where one endpoint is the parent of the
+// other, returning the remaining tour (containing the parent) and the
+// subtree tour (rooted at the child). It panics if the edge's arcs are not
+// found where the conventions place them.
+func CutSeq(t *Seq, x, y int) (rest, sub *Seq) {
+	fx, lx := t.First(x), t.Last(x)
+	fy, ly := t.First(y), t.Last(y)
+	if InSubtree(fx, lx, fy, ly) {
+		// y is the parent.
+		x, y = y, x
+		fy, ly = fx, lx
+	}
+	if t.s[fy-2] != x || t.s[ly] != x {
+		panic(fmt.Sprintf("etour: arcs of (%d,%d) not adjacent to subtree interval", x, y))
+	}
+	subSeq := append([]int(nil), t.s[fy:ly-1]...) // positions fy+1 .. ly-1
+	restSeq := make([]int, 0, len(t.s)-len(subSeq)-4)
+	restSeq = append(restSeq, t.s[:fy-2]...) // positions 1 .. fy-2
+	restSeq = append(restSeq, t.s[ly+1:]...) // positions ly+2 .. L
+	return &Seq{s: restSeq}, &Seq{s: subSeq}
+}
+
+// Valid reports whether the sequence is a structurally valid Euler tour:
+// even length, arcs at (2k-1, 2k) with distinct endpoints, consecutive arcs
+// chained through their shared vertex, and circular closure at the root.
+func (t *Seq) Valid() error {
+	L := len(t.s)
+	if L == 0 {
+		return nil
+	}
+	if L%2 != 0 {
+		return fmt.Errorf("odd tour length %d", L)
+	}
+	for k := 0; 2*k < L; k++ {
+		if t.s[2*k] == t.s[2*k+1] {
+			return fmt.Errorf("self-arc at positions %d,%d", 2*k+1, 2*k+2)
+		}
+	}
+	for k := 1; 2*k < L; k++ {
+		if t.s[2*k-1] != t.s[2*k] {
+			return fmt.Errorf("broken chain at position %d", 2*k)
+		}
+	}
+	if t.s[L-1] != t.s[0] {
+		return fmt.Errorf("tour not circular: starts %d ends %d", t.s[0], t.s[L-1])
+	}
+	// Each arc must appear with its reverse exactly once.
+	type arc struct{ a, b int }
+	count := map[arc]int{}
+	for k := 0; 2*k < L; k++ {
+		count[arc{t.s[2*k], t.s[2*k+1]}]++
+	}
+	for a, c := range count {
+		if c != 1 || count[arc{a.b, a.a}] != 1 {
+			return fmt.Errorf("arc (%d,%d) multiplicity %d", a.a, a.b, c)
+		}
+	}
+	return nil
+}
+
+// Render formats the tour with vertex names (index = vertex id) in the
+// style of the paper's figures: "[b,c,c,d,...]".
+func (t *Seq) Render(names []string) string {
+	parts := make([]string, len(t.s))
+	for i, v := range t.s {
+		if names != nil && v < len(names) {
+			parts[i] = names[v]
+		} else {
+			parts[i] = fmt.Sprintf("%d", v)
+		}
+	}
+	return "[" + strings.Join(parts, ",") + "]"
+}
+
+// Brackets formats the [f,l] appearance intervals for the given vertices in
+// the style of the paper's figures.
+func (t *Seq) Brackets(vertices []int, names []string) string {
+	var parts []string
+	for _, v := range vertices {
+		f, l := t.First(v), t.Last(v)
+		if f == 0 {
+			continue
+		}
+		name := fmt.Sprintf("%d", v)
+		if names != nil && v < len(names) {
+			name = names[v]
+		}
+		parts = append(parts, fmt.Sprintf("%s[%d,%d]", name, f, l))
+	}
+	return strings.Join(parts, " ")
+}

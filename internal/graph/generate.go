@@ -1,0 +1,137 @@
+package graph
+
+import "math/rand"
+
+// Generators for the workload families used across the experiments. All
+// generators are deterministic for a given *rand.Rand.
+
+// GNM returns a uniform random simple graph with n vertices and (up to) m
+// edges; weights are drawn uniformly from [1, maxW].
+func GNM(n, m int, maxW Weight, rng *rand.Rand) *Graph {
+	g := New(n)
+	if n < 2 {
+		return g
+	}
+	attempts := 0
+	for g.M() < m && attempts < 20*m+100 {
+		u := rng.Intn(n)
+		v := rng.Intn(n)
+		attempts++
+		if u == v {
+			continue
+		}
+		g.Insert(u, v, 1+Weight(rng.Int63n(int64(maxW))))
+	}
+	return g
+}
+
+// Path returns the path 0-1-...-n-1 with unit weights.
+func Path(n int) *Graph {
+	g := New(n)
+	for i := 0; i+1 < n; i++ {
+		g.Insert(i, i+1, 1)
+	}
+	return g
+}
+
+// Cycle returns the n-cycle.
+func Cycle(n int) *Graph {
+	g := Path(n)
+	if n > 2 {
+		g.Insert(n-1, 0, 1)
+	}
+	return g
+}
+
+// Star returns a star with center 0 and n-1 leaves.
+func Star(n int) *Graph {
+	g := New(n)
+	for i := 1; i < n; i++ {
+		g.Insert(0, i, 1)
+	}
+	return g
+}
+
+// Grid returns an r x c grid graph (vertex = row*c+col) with weights drawn
+// from [1, maxW]; pass maxW=1 for an unweighted grid.
+func Grid(r, c int, maxW Weight, rng *rand.Rand) *Graph {
+	g := New(r * c)
+	w := func() Weight {
+		if maxW <= 1 || rng == nil {
+			return 1
+		}
+		return 1 + Weight(rng.Int63n(int64(maxW)))
+	}
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			v := i*c + j
+			if j+1 < c {
+				g.Insert(v, v+1, w())
+			}
+			if i+1 < r {
+				g.Insert(v, v+c, w())
+			}
+		}
+	}
+	return g
+}
+
+// RandomTree returns a uniformly random labeled tree on n vertices
+// (random attachment), with weights drawn from [1, maxW].
+func RandomTree(n int, maxW Weight, rng *rand.Rand) *Graph {
+	g := New(n)
+	for v := 1; v < n; v++ {
+		u := rng.Intn(v)
+		w := Weight(1)
+		if maxW > 1 {
+			w = 1 + Weight(rng.Int63n(int64(maxW)))
+		}
+		g.Insert(u, v, w)
+	}
+	return g
+}
+
+// PrefAttach returns a preferential-attachment graph: each new vertex
+// attaches k edges to existing vertices chosen proportionally to degree,
+// producing the heavy-tailed degree distributions of web/social graphs that
+// motivate the paper's light/heavy vertex split.
+func PrefAttach(n, k int, rng *rand.Rand) *Graph {
+	g := New(n)
+	if n < 2 {
+		return g
+	}
+	// endpoint pool: every edge contributes both endpoints, so sampling
+	// from the pool is degree-proportional sampling.
+	pool := []int{0}
+	for v := 1; v < n; v++ {
+		added := 0
+		for t := 0; t < 4*k && added < k; t++ {
+			u := pool[rng.Intn(len(pool))]
+			if g.Insert(u, v, 1) {
+				added++
+			}
+		}
+		if added == 0 {
+			g.Insert(rng.Intn(v), v, 1)
+		}
+		for range g.Neighbors(v) {
+			pool = append(pool, v)
+		}
+		for _, u := range g.Neighbors(v) {
+			pool = append(pool, u)
+		}
+	}
+	return g
+}
+
+// CompleteBipartite returns K_{a,b}: vertices 0..a-1 on one side and
+// a..a+b-1 on the other.
+func CompleteBipartite(a, b int) *Graph {
+	g := New(a + b)
+	for i := 0; i < a; i++ {
+		for j := 0; j < b; j++ {
+			g.Insert(i, a+j, 1)
+		}
+	}
+	return g
+}

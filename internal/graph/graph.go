@@ -1,0 +1,202 @@
+// Package graph provides the dynamic-graph substrate shared by every
+// algorithm in this repository: an undirected (optionally weighted) graph
+// that supports edge insertions and deletions, update-stream generators that
+// produce the workloads of the paper's experiments, and sequential "golden"
+// checkers (connectivity, matchings, MST) used as oracles by the tests.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Weight is an integral edge weight. Unweighted graphs use weight 1.
+type Weight int64
+
+// Edge is an undirected edge with U < V after normalization.
+type Edge struct {
+	U, V int
+}
+
+// NormEdge returns the edge with endpoints ordered so U <= V.
+func NormEdge(u, v int) Edge {
+	if u > v {
+		u, v = v, u
+	}
+	return Edge{U: u, V: v}
+}
+
+// WEdge is a weighted undirected edge.
+type WEdge struct {
+	U, V int
+	W    Weight
+}
+
+// Op distinguishes the two dynamic operations.
+type Op int8
+
+const (
+	// Insert adds an edge.
+	Insert Op = iota
+	// Delete removes an edge.
+	Delete
+)
+
+func (o Op) String() string {
+	if o == Insert {
+		return "insert"
+	}
+	return "delete"
+}
+
+// Update is one dynamic graph operation.
+type Update struct {
+	Op   Op
+	U, V int
+	W    Weight
+}
+
+func (u Update) String() string {
+	return fmt.Sprintf("%s(%d,%d,w=%d)", u.Op, u.U, u.V, u.W)
+}
+
+// Graph is a mutable undirected multigraph-free graph on vertices 0..n-1.
+// The zero value is unusable; call New.
+type Graph struct {
+	n   int
+	m   int
+	adj []map[int]Weight
+}
+
+// New returns an empty graph on n vertices.
+func New(n int) *Graph {
+	g := &Graph{n: n, adj: make([]map[int]Weight, n)}
+	for i := range g.adj {
+		g.adj[i] = make(map[int]Weight)
+	}
+	return g
+}
+
+// Clone returns a deep copy.
+func (g *Graph) Clone() *Graph {
+	c := New(g.n)
+	c.m = g.m
+	for v, nbrs := range g.adj {
+		for w, wt := range nbrs {
+			c.adj[v][w] = wt
+		}
+	}
+	return c
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return g.n }
+
+// M returns the number of edges.
+func (g *Graph) M() int { return g.m }
+
+// Has reports whether edge (u,v) is present.
+func (g *Graph) Has(u, v int) bool {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		return false
+	}
+	_, ok := g.adj[u][v]
+	return ok
+}
+
+// WeightOf returns the weight of (u,v) and whether the edge exists.
+func (g *Graph) WeightOf(u, v int) (Weight, bool) {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		return 0, false
+	}
+	w, ok := g.adj[u][v]
+	return w, ok
+}
+
+// Insert adds edge (u,v) with weight w. It reports whether the edge was
+// newly added (false for self-loops and duplicates).
+func (g *Graph) Insert(u, v int, w Weight) bool {
+	if u == v || u < 0 || v < 0 || u >= g.n || v >= g.n {
+		return false
+	}
+	if _, ok := g.adj[u][v]; ok {
+		return false
+	}
+	g.adj[u][v] = w
+	g.adj[v][u] = w
+	g.m++
+	return true
+}
+
+// Delete removes edge (u,v), reporting whether it was present.
+func (g *Graph) Delete(u, v int) bool {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		return false
+	}
+	if _, ok := g.adj[u][v]; !ok {
+		return false
+	}
+	delete(g.adj[u], v)
+	delete(g.adj[v], u)
+	g.m--
+	return true
+}
+
+// Apply mutates the graph according to upd, reporting whether it changed.
+func (g *Graph) Apply(upd Update) bool {
+	if upd.Op == Insert {
+		return g.Insert(upd.U, upd.V, upd.W)
+	}
+	return g.Delete(upd.U, upd.V)
+}
+
+// Degree returns the degree of v.
+func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+
+// Neighbors returns v's neighbors in ascending order.
+func (g *Graph) Neighbors(v int) []int {
+	out := make([]int, 0, len(g.adj[v]))
+	for w := range g.adj[v] {
+		out = append(out, w)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// EachNeighbor calls f for every neighbor of v in unspecified order; f
+// returning false stops the iteration.
+func (g *Graph) EachNeighbor(v int, f func(w int, wt Weight) bool) {
+	for w, wt := range g.adj[v] {
+		if !f(w, wt) {
+			return
+		}
+	}
+}
+
+// Edges returns all edges (U<V) sorted lexicographically.
+func (g *Graph) Edges() []WEdge {
+	out := make([]WEdge, 0, g.m)
+	for u, nbrs := range g.adj {
+		for v, w := range nbrs {
+			if u < v {
+				out = append(out, WEdge{U: u, V: v, W: w})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].U != out[j].U {
+			return out[i].U < out[j].U
+		}
+		return out[i].V < out[j].V
+	})
+	return out
+}
+
+// FromUpdates replays a prefix of updates onto a fresh graph.
+func FromUpdates(n int, updates []Update) *Graph {
+	g := New(n)
+	for _, u := range updates {
+		g.Apply(u)
+	}
+	return g
+}

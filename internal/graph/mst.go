@@ -1,0 +1,84 @@
+package graph
+
+import "sort"
+
+// MST oracles based on Kruskal's algorithm.
+
+// MSFEdges returns a minimum spanning forest of g (one MST per component),
+// with deterministic tie-breaking by (weight, u, v).
+func MSFEdges(g *Graph) []WEdge {
+	edges := g.Edges()
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].W != edges[j].W {
+			return edges[i].W < edges[j].W
+		}
+		if edges[i].U != edges[j].U {
+			return edges[i].U < edges[j].U
+		}
+		return edges[i].V < edges[j].V
+	})
+	parent := make([]int, g.N())
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	var out []WEdge
+	for _, e := range edges {
+		ru, rv := find(e.U), find(e.V)
+		if ru != rv {
+			parent[ru] = rv
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// MSFWeight returns the total weight of a minimum spanning forest of g.
+func MSFWeight(g *Graph) Weight {
+	var total Weight
+	for _, e := range MSFEdges(g) {
+		total += e.W
+	}
+	return total
+}
+
+// ForestWeight sums the weights of the given edges as found in g; ok is
+// false if any edge is missing from g.
+func ForestWeight(g *Graph, edges []Edge) (total Weight, ok bool) {
+	for _, e := range edges {
+		w, present := g.WeightOf(e.U, e.V)
+		if !present {
+			return 0, false
+		}
+		total += w
+	}
+	return total, true
+}
+
+// BucketWeight rounds w down to the representative of its (1+eps) bucket:
+// bucket k holds weights in [(1+eps)^k, (1+eps)^{k+1}) and is represented
+// by ⌊(1+eps)^k⌋. The representative b satisfies b <= w < b*(1+eps)+1+eps
+// (the additive slack comes from integer truncation), so rounding all
+// weights this way changes the MSF weight by at most a (1+eps) factor plus
+// one unit per edge — the paper's §5.1 preprocessing uses exactly this
+// bucketization.
+func BucketWeight(w Weight, eps float64) Weight {
+	if w <= 0 || eps <= 0 {
+		return w
+	}
+	base := 1.0 + eps
+	k := 0
+	x := 1.0
+	for x*base <= float64(w) {
+		x *= base
+		k++
+	}
+	return Weight(x)
+}

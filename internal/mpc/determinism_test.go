@@ -1,0 +1,73 @@
+package mpc
+
+import (
+	"testing"
+)
+
+// relayMachine forwards received integers along value-dependent routes, a
+// branching, order-sensitive workload. Each machine emits at most budget
+// messages in total, bounding the cascade while keeping plenty of
+// cross-machine interleaving to expose scheduling nondeterminism.
+type relayMachine struct {
+	id     int
+	mu     int
+	budget int
+	seen   []int64
+}
+
+func (r *relayMachine) HandleRound(ctx *Ctx, inbox []Message) {
+	for _, m := range inbox {
+		v, ok := m.Payload.(int64)
+		if !ok {
+			continue
+		}
+		r.seen = append(r.seen, v)
+		if r.budget > 0 {
+			r.budget--
+			ctx.Send(int(v)%r.mu, v+1, 1)
+		}
+		if r.budget > 0 && v%3 == 0 {
+			r.budget--
+			ctx.Send(int(v*7)%r.mu, v+3, 1)
+		}
+	}
+}
+
+// run executes the branching relay and returns a trace fingerprint.
+func runRelay(workers int) (rounds int, words int, trace []int64) {
+	const mu = 7
+	c := NewCluster(Config{Machines: mu, MemWords: 1 << 20, Workers: workers})
+	ms := make([]*relayMachine, mu)
+	for i := range ms {
+		ms[i] = &relayMachine{id: i, mu: mu, budget: 40}
+		c.SetMachine(i, ms[i])
+	}
+	c.Send(Message{To: 0, Payload: int64(1), Words: 1})
+	c.Run(500)
+	for _, m := range ms {
+		trace = append(trace, int64(len(m.seen)))
+		for _, v := range m.seen {
+			trace = append(trace, v)
+		}
+	}
+	return c.Stats().Rounds, c.Stats().Words, trace
+}
+
+// TestDeterministicAcrossWorkerCounts: the simulation must produce
+// identical traces regardless of handler concurrency — the guarantee that
+// makes every experiment in this repository reproducible.
+func TestDeterministicAcrossWorkerCounts(t *testing.T) {
+	r1, w1, t1 := runRelay(1)
+	r8, w8, t8 := runRelay(8)
+	if r1 != r8 || w1 != w8 {
+		t.Fatalf("stats diverge: rounds %d/%d words %d/%d", r1, r8, w1, w8)
+	}
+	if len(t1) != len(t8) {
+		t.Fatalf("trace lengths diverge: %d vs %d", len(t1), len(t8))
+	}
+	for i := range t1 {
+		if t1[i] != t8[i] {
+			t.Fatalf("trace diverges at %d: %d vs %d", i, t1[i], t8[i])
+		}
+	}
+}

@@ -1,0 +1,477 @@
+// Package mpc implements a deterministic simulator for the DMPC model of
+// Italiano, Lattanzi, Mirrokni and Parotsidis (SPAA 2019): a cluster of µ
+// machines, each with S words of memory, exchanging messages in synchronous
+// rounds.
+//
+// The simulator accounts for exactly the three quantities the DMPC model
+// charges a dynamic algorithm for:
+//
+//   - the number of rounds required to process each update,
+//   - the number of machines that are active in each round, and
+//   - the total number of words communicated in each round.
+//
+// A machine is active in a round if it sends or receives at least one
+// message in that round, or if it was explicitly scheduled to run. Handlers
+// execute concurrently on a bounded worker pool with a barrier between
+// rounds; message delivery order is deterministic, so simulations are
+// reproducible for a fixed seed regardless of GOMAXPROCS.
+package mpc
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// Message is a single inter-machine message. Payload stays in process (the
+// simulator never serializes); Words is the size charged to the model's
+// communication measure and must be set by the sender. The Cluster validates
+// that Words is positive.
+type Message struct {
+	From    int
+	To      int
+	Payload any
+	Words   int
+
+	seq int // per-sender sequence number for deterministic delivery order
+}
+
+// Machine is the behavior of one simulated DMPC machine. Implementations
+// hold the machine's local state; HandleRound is called once per round in
+// which the machine is active and must not touch other machines' state
+// except through ctx.Send.
+type Machine interface {
+	// HandleRound processes the inbox for this round. It may send messages
+	// for delivery at the start of the next round via ctx.Send and may
+	// schedule itself or others for the next round via ctx.Schedule.
+	HandleRound(ctx *Ctx, inbox []Message)
+}
+
+// MemReporter is optionally implemented by machines that can report their
+// local memory footprint in words; the cluster uses it to enforce the
+// per-machine memory cap in strict mode and to report peak usage.
+type MemReporter interface {
+	MemWords() int
+}
+
+// Config describes a cluster. The zero value is not usable; call Auto or
+// fill in the fields explicitly.
+type Config struct {
+	// Machines is µ, the number of machines in the cluster.
+	Machines int
+	// MemWords is S, the per-machine memory budget in words. In strict
+	// mode it also caps per-machine per-round communication, as in the
+	// model definition ("each machine can send and receive messages of
+	// total size up to S at each round").
+	MemWords int
+	// Strict makes constraint violations (memory over S, per-round I/O
+	// over S, sends to out-of-range machines) fatal via panic. Violations
+	// are always counted in Stats regardless.
+	Strict bool
+	// Workers bounds handler concurrency; 0 means GOMAXPROCS.
+	Workers int
+}
+
+// Auto returns the canonical DMPC configuration for an input of size n
+// words: S = scale·⌈√n⌉ memory words per machine and µ = ⌈n/S⌉+slack
+// machines, so that total memory is Θ(N) as required by the paper.
+func Auto(inputWords int, scale float64) Config {
+	if inputWords < 1 {
+		inputWords = 1
+	}
+	if scale <= 0 {
+		scale = 4
+	}
+	s := int(scale * math.Ceil(math.Sqrt(float64(inputWords))))
+	if s < 16 {
+		s = 16
+	}
+	mu := (inputWords+s-1)/s + 4
+	if mu < 4 {
+		mu = 4
+	}
+	return Config{Machines: mu, MemWords: s}
+}
+
+// RoundStats records the accounting for a single synchronous round.
+type RoundStats struct {
+	Active   int // machines that sent, received, or were scheduled
+	Words    int // total message words delivered into this round
+	Messages int // number of messages delivered into this round
+}
+
+// UpdateStats aggregates the rounds spent processing one dynamic update.
+type UpdateStats struct {
+	Rounds    int
+	MaxActive int // max active machines over the update's rounds
+	SumActive int
+	MaxWords  int // max communicated words in any round of the update
+	SumWords  int
+}
+
+// Add folds a round into the update aggregate.
+func (u *UpdateStats) Add(r RoundStats) {
+	u.Rounds++
+	u.SumActive += r.Active
+	u.SumWords += r.Words
+	if r.Active > u.MaxActive {
+		u.MaxActive = r.Active
+	}
+	if r.Words > u.MaxWords {
+		u.MaxWords = r.Words
+	}
+}
+
+// Stats is the lifetime accounting of a cluster.
+type Stats struct {
+	Rounds        int
+	Messages      int
+	Words         int
+	PeakMemWords  int
+	Violations    int
+	pairWords     map[[2]int]int // communication volume per (from,to) pair
+	updates       []UpdateStats
+	currentUpdate *UpdateStats
+}
+
+// Updates returns per-update statistics recorded between BeginUpdate and
+// EndUpdate calls. The returned slice is owned by the caller.
+func (s *Stats) Updates() []UpdateStats {
+	out := make([]UpdateStats, len(s.updates))
+	copy(out, s.updates)
+	return out
+}
+
+// WorstUpdate returns the element-wise maxima over all recorded updates,
+// i.e. the measured worst-case per-update complexity.
+func (s *Stats) WorstUpdate() UpdateStats {
+	var w UpdateStats
+	for _, u := range s.updates {
+		if u.Rounds > w.Rounds {
+			w.Rounds = u.Rounds
+		}
+		if u.MaxActive > w.MaxActive {
+			w.MaxActive = u.MaxActive
+		}
+		if u.MaxWords > w.MaxWords {
+			w.MaxWords = u.MaxWords
+		}
+		w.SumActive += u.SumActive
+		w.SumWords += u.SumWords
+	}
+	return w
+}
+
+// MeanUpdate returns the mean rounds, active machines per round and words
+// per round over all recorded updates.
+func (s *Stats) MeanUpdate() (rounds, activePerRound, wordsPerRound float64) {
+	if len(s.updates) == 0 {
+		return 0, 0, 0
+	}
+	var r, a, w, rr int
+	for _, u := range s.updates {
+		r += u.Rounds
+		a += u.SumActive
+		w += u.SumWords
+		rr += u.Rounds
+	}
+	n := float64(len(s.updates))
+	rounds = float64(r) / n
+	if rr > 0 {
+		activePerRound = float64(a) / float64(rr)
+		wordsPerRound = float64(w) / float64(rr)
+	}
+	return rounds, activePerRound, wordsPerRound
+}
+
+// Cluster is a simulated DMPC cluster. It is not safe for concurrent use by
+// multiple goroutines; one Cluster drives one simulation.
+type Cluster struct {
+	cfg      Config
+	machines []Machine
+	inboxes  [][]Message
+	sched    []bool
+	stats    Stats
+	workers  int
+
+	// per-round scratch, reused across rounds
+	outboxes  [][]Message
+	nextSched [][]int
+}
+
+// NewCluster builds a cluster with the given configuration. Machines are
+// attached afterwards with SetMachine; unattached slots are inert.
+func NewCluster(cfg Config) *Cluster {
+	if cfg.Machines <= 0 {
+		panic("mpc: cluster needs at least one machine")
+	}
+	if cfg.MemWords <= 0 {
+		panic("mpc: per-machine memory must be positive")
+	}
+	w := cfg.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	c := &Cluster{
+		cfg:       cfg,
+		machines:  make([]Machine, cfg.Machines),
+		inboxes:   make([][]Message, cfg.Machines),
+		sched:     make([]bool, cfg.Machines),
+		workers:   w,
+		outboxes:  make([][]Message, cfg.Machines),
+		nextSched: make([][]int, cfg.Machines),
+	}
+	c.stats.pairWords = make(map[[2]int]int)
+	return c
+}
+
+// Config returns the cluster configuration.
+func (c *Cluster) Config() Config { return c.cfg }
+
+// Machines returns µ.
+func (c *Cluster) Machines() int { return c.cfg.Machines }
+
+// MemWords returns S.
+func (c *Cluster) MemWords() int { return c.cfg.MemWords }
+
+// Stats exposes the lifetime accounting. The pointer stays valid for the
+// cluster's lifetime.
+func (c *Cluster) Stats() *Stats { return &c.stats }
+
+// SetMachine attaches m to slot id.
+func (c *Cluster) SetMachine(id int, m Machine) {
+	c.machines[id] = m
+}
+
+// MachineAt returns the machine attached to slot id, or nil.
+func (c *Cluster) MachineAt(id int) Machine { return c.machines[id] }
+
+// Schedule marks machine id as active for the next round even if it
+// receives no messages. Used to bootstrap computation.
+func (c *Cluster) Schedule(id int) {
+	c.sched[id] = true
+}
+
+// Send enqueues a message for delivery at the start of the next round. It is
+// intended for injecting external input (e.g. a graph update) into the
+// cluster; machines use Ctx.Send instead. From may be -1 for "external".
+func (c *Cluster) Send(msg Message) {
+	if msg.Words <= 0 {
+		msg.Words = 1
+	}
+	c.inboxes[msg.To] = append(c.inboxes[msg.To], msg)
+}
+
+// BeginUpdate starts per-update accounting; every subsequent round is folded
+// into the update until EndUpdate.
+func (c *Cluster) BeginUpdate() {
+	c.stats.currentUpdate = &UpdateStats{}
+}
+
+// EndUpdate finishes per-update accounting and records the aggregate.
+func (c *Cluster) EndUpdate() UpdateStats {
+	u := c.stats.currentUpdate
+	c.stats.currentUpdate = nil
+	if u == nil {
+		return UpdateStats{}
+	}
+	c.stats.updates = append(c.stats.updates, *u)
+	return *u
+}
+
+// Quiescent reports whether no machine has pending messages or scheduling,
+// i.e. whether another Round would be a no-op.
+func (c *Cluster) Quiescent() bool {
+	for i := range c.inboxes {
+		if len(c.inboxes[i]) > 0 || c.sched[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Round executes one synchronous round: delivers all pending messages,
+// runs every active machine's handler concurrently, and stages the messages
+// they send for the next round. It returns the round's statistics.
+func (c *Cluster) Round() RoundStats {
+	// Determine active set.
+	active := make([]int, 0, 16)
+	for id := range c.machines {
+		if len(c.inboxes[id]) > 0 || c.sched[id] {
+			active = append(active, id)
+		}
+	}
+	var rs RoundStats
+	rs.Active = len(active)
+	for _, id := range active {
+		for _, m := range c.inboxes[id] {
+			rs.Words += m.Words
+			rs.Messages++
+		}
+	}
+
+	// Run handlers concurrently.
+	ctxs := make([]*Ctx, len(active))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, c.workers)
+	for i, id := range active {
+		ctx := &Ctx{cluster: c, self: id, round: c.stats.Rounds}
+		ctxs[i] = ctx
+		inbox := c.inboxes[id]
+		// Deterministic inbox order: by sender, then sequence.
+		sort.SliceStable(inbox, func(a, b int) bool {
+			if inbox[a].From != inbox[b].From {
+				return inbox[a].From < inbox[b].From
+			}
+			return inbox[a].seq < inbox[b].seq
+		})
+		m := c.machines[id]
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(m Machine, ctx *Ctx, inbox []Message) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			if m != nil {
+				m.HandleRound(ctx, inbox)
+			}
+		}(m, ctx, inbox)
+	}
+	wg.Wait()
+
+	// Clear consumed inboxes and schedules.
+	for _, id := range active {
+		c.inboxes[id] = nil
+		c.sched[id] = false
+	}
+
+	// Stage outgoing messages deterministically (by sender id) and apply
+	// next-round schedules; enforce per-machine I/O caps.
+	for i, id := range active {
+		ctx := ctxs[i]
+		sent := 0
+		for _, msg := range ctx.out {
+			sent += msg.Words
+			if msg.To < 0 || msg.To >= len(c.machines) {
+				c.violation("machine %d sent to invalid machine %d", id, msg.To)
+				continue
+			}
+			c.inboxes[msg.To] = append(c.inboxes[msg.To], msg)
+			c.stats.pairWords[[2]int{msg.From, msg.To}] += msg.Words
+		}
+		if sent > c.cfg.MemWords {
+			c.violation("machine %d sent %d words in one round (cap %d)", id, sent, c.cfg.MemWords)
+		}
+		for _, s := range ctx.schedule {
+			c.sched[s] = true
+		}
+	}
+
+	// Memory accounting / enforcement.
+	for _, id := range active {
+		if mr, ok := c.machines[id].(MemReporter); ok {
+			w := mr.MemWords()
+			if w > c.stats.PeakMemWords {
+				c.stats.PeakMemWords = w
+			}
+			if w > c.cfg.MemWords {
+				c.violation("machine %d uses %d words (cap %d)", id, w, c.cfg.MemWords)
+			}
+		}
+	}
+
+	c.stats.Rounds++
+	c.stats.Messages += rs.Messages
+	c.stats.Words += rs.Words
+	if c.stats.currentUpdate != nil {
+		c.stats.currentUpdate.Add(rs)
+	}
+	return rs
+}
+
+// Run executes rounds until the cluster is quiescent or maxRounds is
+// reached, returning the number of rounds executed.
+func (c *Cluster) Run(maxRounds int) int {
+	n := 0
+	for n < maxRounds && !c.Quiescent() {
+		c.Round()
+		n++
+	}
+	return n
+}
+
+func (c *Cluster) violation(format string, args ...any) {
+	c.stats.Violations++
+	if c.cfg.Strict {
+		panic(fmt.Sprintf("mpc: "+format, args...))
+	}
+}
+
+// CommEntropy returns the Shannon entropy (in bits) of the normalized
+// distribution of communicated words over ordered machine pairs, the metric
+// proposed in §8 of the paper to quantify how evenly an algorithm spreads
+// its communication. Higher is more uniform; an algorithm funnelling all
+// traffic through a coordinator scores low.
+func (c *Cluster) CommEntropy() float64 {
+	total := 0
+	for _, w := range c.stats.pairWords {
+		total += w
+	}
+	if total == 0 {
+		return 0
+	}
+	h := 0.0
+	for _, w := range c.stats.pairWords {
+		p := float64(w) / float64(total)
+		h -= p * math.Log2(p)
+	}
+	return h
+}
+
+// Ctx is the per-round execution context handed to a machine's handler.
+type Ctx struct {
+	cluster  *Cluster
+	self     int
+	round    int
+	out      []Message
+	schedule []int
+}
+
+// Self returns the executing machine's id.
+func (ctx *Ctx) Self() int { return ctx.self }
+
+// Round returns the global round number.
+func (ctx *Ctx) Round() int { return ctx.round }
+
+// Machines returns µ for the cluster.
+func (ctx *Ctx) Machines() int { return ctx.cluster.cfg.Machines }
+
+// Send stages a message for delivery at the start of the next round. Words
+// must reflect the payload size in machine words; zero is coerced to one.
+func (ctx *Ctx) Send(to int, payload any, words int) {
+	if words <= 0 {
+		words = 1
+	}
+	ctx.out = append(ctx.out, Message{
+		From: ctx.self, To: to, Payload: payload, Words: words,
+		seq: len(ctx.out),
+	})
+}
+
+// Broadcast sends the payload to every machine in the cluster (including
+// self if includeSelf). It charges words per recipient, matching the
+// model's accounting for a machine that transmits to all µ machines.
+func (ctx *Ctx) Broadcast(payload any, words int, includeSelf bool) {
+	for id := 0; id < ctx.cluster.cfg.Machines; id++ {
+		if id == ctx.self && !includeSelf {
+			continue
+		}
+		ctx.Send(id, payload, words)
+	}
+}
+
+// Schedule marks a machine active in the next round without sending data.
+func (ctx *Ctx) Schedule(id int) {
+	ctx.schedule = append(ctx.schedule, id)
+}

@@ -1,0 +1,202 @@
+package seqdyn
+
+import "fmt"
+
+// LCT is a link-cut tree (Sleator–Tarjan) over splay trees of preferred
+// paths, augmented with a subtree maximum over node values. Tree edges are
+// represented as nodes (edge subdivision), so "maximum edge on the path
+// u..v" is a path aggregate over edge nodes. It powers the insert side of
+// the fully-dynamic minimum spanning forest: when a cycle would form, the
+// heaviest cycle edge is found in O(log n) amortized.
+type LCT struct {
+	nodes []lctNode
+	Ops   *Counter
+}
+
+type lctNode struct {
+	l, r, p int32
+	flip    bool
+	val     int64 // node value (edge weight for edge nodes, -inf for vertices)
+	maxVal  int64 // max over splay subtree
+	maxNode int32 // node achieving maxVal
+}
+
+const negInf = int64(-1) << 62
+
+// NewLCT returns a forest of n isolated nodes (ids 0..n-1) with value
+// -inf; extra nodes for edges are added with AddNode. ops may be nil.
+func NewLCT(n int, ops *Counter) *LCT {
+	if ops == nil {
+		ops = &Counter{}
+	}
+	t := &LCT{nodes: make([]lctNode, 0, 2*n), Ops: ops}
+	for i := 0; i < n; i++ {
+		t.AddNode(negInf)
+	}
+	return t
+}
+
+// AddNode appends an isolated node with the given value, returning its id.
+func (t *LCT) AddNode(val int64) int {
+	id := len(t.nodes)
+	t.nodes = append(t.nodes, lctNode{l: -1, r: -1, p: -1, val: val, maxVal: val, maxNode: int32(id)})
+	return id
+}
+
+func (t *LCT) isRoot(x int32) bool {
+	p := t.nodes[x].p
+	return p < 0 || (t.nodes[p].l != x && t.nodes[p].r != x)
+}
+
+func (t *LCT) push(x int32) {
+	n := &t.nodes[x]
+	if !n.flip {
+		return
+	}
+	n.l, n.r = n.r, n.l
+	if n.l >= 0 {
+		t.nodes[n.l].flip = !t.nodes[n.l].flip
+	}
+	if n.r >= 0 {
+		t.nodes[n.r].flip = !t.nodes[n.r].flip
+	}
+	n.flip = false
+}
+
+func (t *LCT) pull(x int32) {
+	n := &t.nodes[x]
+	n.maxVal, n.maxNode = n.val, x
+	for _, c := range [2]int32{n.l, n.r} {
+		if c >= 0 && t.nodes[c].maxVal > n.maxVal {
+			n.maxVal, n.maxNode = t.nodes[c].maxVal, t.nodes[c].maxNode
+		}
+	}
+}
+
+func (t *LCT) rotate(x int32) {
+	p := t.nodes[x].p
+	g := t.nodes[p].p
+	pIsRoot := t.isRoot(p)
+	if t.nodes[p].l == x {
+		t.nodes[p].l = t.nodes[x].r
+		if t.nodes[x].r >= 0 {
+			t.nodes[t.nodes[x].r].p = p
+		}
+		t.nodes[x].r = p
+	} else {
+		t.nodes[p].r = t.nodes[x].l
+		if t.nodes[x].l >= 0 {
+			t.nodes[t.nodes[x].l].p = p
+		}
+		t.nodes[x].l = p
+	}
+	t.nodes[p].p = x
+	t.nodes[x].p = g
+	if !pIsRoot && g >= 0 {
+		if t.nodes[g].l == p {
+			t.nodes[g].l = x
+		} else if t.nodes[g].r == p {
+			t.nodes[g].r = x
+		}
+	}
+	t.pull(p)
+	t.pull(x)
+	t.Ops.Inc(1)
+}
+
+func (t *LCT) splay(x int32) {
+	// Push pending flips from the splay root down to x.
+	stack := []int32{x}
+	for y := x; !t.isRoot(y); {
+		y = t.nodes[y].p
+		stack = append(stack, y)
+	}
+	for i := len(stack) - 1; i >= 0; i-- {
+		t.push(stack[i])
+	}
+	for !t.isRoot(x) {
+		p := t.nodes[x].p
+		if !t.isRoot(p) {
+			g := t.nodes[p].p
+			if (t.nodes[g].l == p) == (t.nodes[p].l == x) {
+				t.rotate(p)
+			} else {
+				t.rotate(x)
+			}
+		}
+		t.rotate(x)
+	}
+}
+
+func (t *LCT) access(x int32) {
+	last := int32(-1)
+	for y := x; y >= 0; y = t.nodes[y].p {
+		t.splay(y)
+		t.nodes[y].r = last
+		t.pull(y)
+		last = y
+		t.Ops.Inc(1)
+	}
+	t.splay(x)
+}
+
+func (t *LCT) makeRoot(x int32) {
+	t.access(x)
+	t.nodes[x].flip = !t.nodes[x].flip
+	t.push(x)
+}
+
+// FindRoot returns the root of x's tree (stable until the next MakeRoot).
+func (t *LCT) FindRoot(x int) int {
+	x32 := int32(x)
+	t.access(x32)
+	y := x32
+	for {
+		t.push(y)
+		if t.nodes[y].l < 0 {
+			break
+		}
+		y = t.nodes[y].l
+		t.Ops.Inc(1)
+	}
+	t.splay(y)
+	return int(y)
+}
+
+// Connected reports whether x and y are in the same tree.
+func (t *LCT) Connected(x, y int) bool {
+	if x == y {
+		return true
+	}
+	return t.FindRoot(x) == t.FindRoot(y)
+}
+
+// Link attaches x's tree under y; x and y must be disconnected.
+func (t *LCT) Link(x, y int) {
+	if t.Connected(x, y) {
+		panic(fmt.Sprintf("seqdyn: LCT.Link(%d,%d) would create a cycle", x, y))
+	}
+	t.makeRoot(int32(x))
+	t.nodes[x].p = int32(y)
+}
+
+// Cut removes the edge between adjacent nodes x and y.
+func (t *LCT) Cut(x, y int) {
+	t.makeRoot(int32(x))
+	t.access(int32(y))
+	// y's splay left child must be exactly x (path x-y of length 1).
+	if t.nodes[y].l != int32(x) || t.nodes[x].l >= 0 || t.nodes[x].r >= 0 {
+		panic(fmt.Sprintf("seqdyn: LCT.Cut(%d,%d): nodes not adjacent", x, y))
+	}
+	t.nodes[y].l = -1
+	t.nodes[x].p = -1
+	t.pull(int32(y))
+}
+
+// PathMax returns the node with maximum value on the x..y path and its
+// value. x and y must be connected.
+func (t *LCT) PathMax(x, y int) (node int, val int64) {
+	t.makeRoot(int32(x))
+	t.access(int32(y))
+	return int(t.nodes[y].maxNode), t.nodes[y].maxVal
+}
