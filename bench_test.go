@@ -1,12 +1,14 @@
 // Benchmark harness reproducing the paper's evaluation artifacts (see
-// DESIGN.md §4 and EXPERIMENTS.md): one benchmark per Table 1 row, the
-// reduction rows, the static-recompute baselines the rows are compared
-// against, the §8 entropy ablation, and the Figure 1/2 tours. Custom
-// metrics report the three DMPC complexity measures per update:
-// rounds/update, machines/round (worst), words/round (worst).
+// DESIGN.md §4): one benchmark per Table 1 row, the reduction rows, the
+// static-recompute baselines the rows are compared against, the §8
+// entropy ablation, the Figure 1/2 tours, and the batch-pipeline
+// amortization curves. Custom metrics report the three DMPC complexity
+// measures per update: rounds/update, machines/round (worst),
+// words/round (worst).
 package dmpc
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -195,6 +197,59 @@ func BenchmarkReductionMST(b *testing.B) {
 		}
 	}
 	agg.report(b)
+}
+
+// BenchmarkBatchPipeline measures the batch-dynamic update pipeline: each
+// ApplyBatch implementation is driven over the same stream at batch sizes
+// k ∈ {1, 8, 64}; the metric to watch is amortized rounds/update dropping
+// as k grows (the §7 reduction replays sequentially and stays flat by
+// design).
+func BenchmarkBatchPipeline(b *testing.B) {
+	type runner struct {
+		name string
+		mk   func() func(graph.Batch) mpc.BatchStats
+	}
+	runners := []runner{
+		{"MaximalMatching", func() func(graph.Batch) mpc.BatchStats {
+			return dmm.New(dmm.Config{N: benchN, CapEdges: benchCap}).ApplyBatch
+		}},
+		{"ThreeHalves", func() func(graph.Batch) mpc.BatchStats {
+			return dmm.New(dmm.Config{N: benchN, CapEdges: benchCap, ThreeHalves: true}).ApplyBatch
+		}},
+		{"TwoPlusEps", func() func(graph.Batch) mpc.BatchStats {
+			return amm.New(amm.Config{N: benchN, Seed: 13}).ApplyBatch
+		}},
+		{"ConnComp", func() func(graph.Batch) mpc.BatchStats {
+			return dyncon.New(dyncon.Config{N: benchN, Mode: dyncon.CC, ExpectedEdges: benchCap}).ApplyBatch
+		}},
+		{"MST", func() func(graph.Batch) mpc.BatchStats {
+			return dyncon.New(dyncon.Config{N: benchN, Mode: dyncon.MST, Eps: 0.25, ExpectedEdges: benchCap}).ApplyBatch
+		}},
+		{"ReductionConnectivity", func() func(graph.Batch) mpc.BatchStats {
+			sim := reduction.NewSim(8, 1<<17)
+			return reduction.NewWrapped(sim, reduction.HDTTarget{H: seqdyn.NewHDT(benchN)}).ApplyBatch
+		}},
+	}
+	for _, r := range runners {
+		for _, k := range []int{1, 8, 64} {
+			b.Run(fmt.Sprintf("%s/k=%d", r.name, k), func(b *testing.B) {
+				var rounds, updates, batches int
+				for i := 0; i < b.N; i++ {
+					apply := r.mk()
+					for _, batch := range graph.Chunk(benchStreamUpdates(14), k) {
+						st := apply(batch)
+						rounds += st.Rounds
+						updates += st.Updates
+						batches++
+					}
+				}
+				if updates > 0 {
+					b.ReportMetric(float64(rounds)/float64(updates), "rounds/update(amortized)")
+					b.ReportMetric(float64(rounds)/float64(batches), "rounds/batch")
+				}
+			})
+		}
+	}
 }
 
 // BenchmarkStaticRecomputeCC is the baseline the §5 row is compared

@@ -6,12 +6,21 @@
 // -sweep it additionally reports how the measures scale with the input
 // size N, exposing the O(√N) communication shape.
 //
+// With -batch k the same stream is additionally applied through each
+// algorithm's ApplyBatch in chunks of k, reporting rounds per batch and
+// the amortized rounds per update next to the k=1 baseline — the
+// batch-dynamic headline metric. With -json the whole measurement is
+// emitted as a machine-readable JSON document (see benchReport) so the
+// perf trajectory can be committed as BENCH_NNNN.json snapshots and
+// diffed across PRs.
+//
 // Usage:
 //
-//	dmpcbench [-n 128] [-updates 500] [-seed 1] [-sweep]
+//	dmpcbench [-n 128] [-updates 500] [-seed 1] [-sweep] [-batch k] [-json]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math"
@@ -133,6 +142,168 @@ func table(n, nUpdates int, seed int64) []row {
 	return rows
 }
 
+// batchRow is one algorithm's batch-pipeline measurement at a given k.
+type batchRow struct {
+	name       string
+	k          int
+	batches    int
+	meanRounds float64 // rounds per batch
+	amortized  float64 // rounds per update
+	maxActive  int
+	meanWords  float64 // words per round
+}
+
+type batchRunner struct {
+	name string
+	mk   func() func(graph.Batch) mpc.BatchStats
+}
+
+// batchRunners builds one fresh instance per measurement so successive k
+// values see identical starting states.
+func batchRunners(n, capEdges int, seed int64) []batchRunner {
+	return []batchRunner{
+		{"Maximal matching (§3)", func() func(graph.Batch) mpc.BatchStats {
+			m := dmm.New(dmm.Config{N: n, CapEdges: capEdges})
+			return m.ApplyBatch
+		}},
+		{"3/2-approx matching (§4)", func() func(graph.Batch) mpc.BatchStats {
+			m := dmm.New(dmm.Config{N: n, CapEdges: capEdges, ThreeHalves: true})
+			return m.ApplyBatch
+		}},
+		{"(2+ε)-approx matching (§6)", func() func(graph.Batch) mpc.BatchStats {
+			m := amm.New(amm.Config{N: n, Seed: seed})
+			return m.ApplyBatch
+		}},
+		{"Connected comps (§5)", func() func(graph.Batch) mpc.BatchStats {
+			d := dyncon.New(dyncon.Config{N: n, Mode: dyncon.CC, ExpectedEdges: capEdges})
+			return d.ApplyBatch
+		}},
+		{"(1+ε)-MST (§5.1)", func() func(graph.Batch) mpc.BatchStats {
+			d := dyncon.New(dyncon.Config{N: n, Mode: dyncon.MST, Eps: 0.25, ExpectedEdges: capEdges})
+			return d.ApplyBatch
+		}},
+		{"Reduction: conn comps (§7+HDT)", func() func(graph.Batch) mpc.BatchStats {
+			sim := reduction.NewSim(8, 1<<18)
+			w := reduction.NewWrapped(sim, reduction.HDTTarget{H: seqdyn.NewHDT(n)})
+			return w.ApplyBatch
+		}},
+	}
+}
+
+func measureBatch(name string, updates []graph.Update, k int, run func(graph.Batch) mpc.BatchStats) batchRow {
+	r := batchRow{name: name, k: k}
+	var rounds, words, upd int
+	for _, b := range graph.Chunk(updates, k) {
+		st := run(b)
+		r.batches++
+		rounds += st.Rounds
+		words += st.SumWords
+		upd += st.Updates
+		if st.MaxActive > r.maxActive {
+			r.maxActive = st.MaxActive
+		}
+	}
+	if r.batches > 0 {
+		r.meanRounds = float64(rounds) / float64(r.batches)
+	}
+	if upd > 0 {
+		r.amortized = float64(rounds) / float64(upd)
+	}
+	if rounds > 0 {
+		r.meanWords = float64(words) / float64(rounds)
+	}
+	return r
+}
+
+// batchTable measures every algorithm at k=1 and k=batch over the same
+// stream (fresh instances per k).
+func batchTable(n, nUpdates, batch int, seed int64) []batchRow {
+	capEdges := 6 * n
+	stream := graph.RandomStream(n, nUpdates, 0.55, 50, rand.New(rand.NewSource(seed+100)))
+	ks := []int{1}
+	if batch > 1 {
+		ks = append(ks, batch)
+	}
+	var rows []batchRow
+	for _, br := range batchRunners(n, capEdges, seed) {
+		for _, k := range ks {
+			rows = append(rows, measureBatch(br.name, stream, k, br.mk()))
+		}
+	}
+	return rows
+}
+
+func printBatchTable(rows []batchRow, batch int) {
+	fmt.Printf("\nBatch pipeline (ApplyBatch, k=%d vs k=1):\n", batch)
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "Algorithm\tk\trounds/batch\tamortized rounds/upd\tmach/round (wc)\twords/round (mean)\n")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%d\t%.2f\t%.2f\t%d\t%.1f\n",
+			r.name, r.k, r.meanRounds, r.amortized, r.maxActive, r.meanWords)
+	}
+	w.Flush()
+	fmt.Println("(amortized rounds/update dropping as k grows is the batch-dynamic headline;")
+	fmt.Println(" the §7 reduction replays sequentially, so its amortized cost stays flat)")
+}
+
+// --- JSON output ----------------------------------------------------------
+
+type jsonAlgo struct {
+	Name               string  `json:"name"`
+	Claim              string  `json:"claim"`
+	MeanRoundsPerUpd   float64 `json:"mean_rounds_per_update"`
+	WorstRounds        int     `json:"wc_rounds"`
+	WorstMachines      int     `json:"wc_machines_per_round"`
+	MeanWordsPerRound  float64 `json:"mean_words_per_round"`
+	WorstWordsPerRound int     `json:"wc_words_per_round"`
+}
+
+type jsonBatch struct {
+	Name              string  `json:"name"`
+	K                 int     `json:"k"`
+	Batches           int     `json:"batches"`
+	RoundsPerBatch    float64 `json:"rounds_per_batch"`
+	AmortizedRounds   float64 `json:"amortized_rounds_per_update"`
+	WorstMachines     int     `json:"wc_machines_per_round"`
+	MeanWordsPerRound float64 `json:"mean_words_per_round"`
+}
+
+type benchReport struct {
+	Schema  string      `json:"schema"`
+	N       int         `json:"n"`
+	Updates int         `json:"updates"`
+	Seed    int64       `json:"seed"`
+	BatchK  int         `json:"batch_k,omitempty"`
+	Table1  []jsonAlgo  `json:"table1"`
+	Batch   []jsonBatch `json:"batch,omitempty"`
+	Sweep   []sweepRow  `json:"sweep,omitempty"`
+}
+
+func printJSON(rows []row, brows []batchRow, srows []sweepRow, n, updates, batch int, seed int64) {
+	rep := benchReport{Schema: "dmpcbench/v1", N: n, Updates: updates, Seed: seed, BatchK: batch, Sweep: srows}
+	for _, r := range rows {
+		rep.Table1 = append(rep.Table1, jsonAlgo{
+			Name: r.name, Claim: r.claim,
+			MeanRoundsPerUpd: r.meanRounds, WorstRounds: r.maxRounds,
+			WorstMachines: r.maxActive, MeanWordsPerRound: r.meanWords,
+			WorstWordsPerRound: r.maxWords,
+		})
+	}
+	for _, r := range brows {
+		rep.Batch = append(rep.Batch, jsonBatch{
+			Name: r.name, K: r.k, Batches: r.batches,
+			RoundsPerBatch: r.meanRounds, AmortizedRounds: r.amortized,
+			WorstMachines: r.maxActive, MeanWordsPerRound: r.meanWords,
+		})
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "dmpcbench:", err)
+		os.Exit(1)
+	}
+}
+
 func printTable(rows []row, n int) {
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintf(w, "Algorithm\tPaper bound\trounds/upd (mean)\trounds (wc)\tmach/round (wc)\twords/round (mean)\twords (wc)\n")
@@ -158,10 +329,17 @@ func staticBaselines(n int, seed int64) {
 	w.Flush()
 }
 
-func sweep(seed int64) {
-	fmt.Println("\nScaling sweep (§5 connectivity): words/round vs N")
-	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintf(w, "n\trounds/upd (wc)\tmach/round (wc)\twords/round (wc)\twords/√N\n")
+// sweepRow is one input size of the §5 scaling sweep.
+type sweepRow struct {
+	N             int     `json:"n"`
+	WorstRounds   int     `json:"wc_rounds_per_update"`
+	WorstMachines int     `json:"wc_machines_per_round"`
+	WorstWords    int     `json:"wc_words_per_round"`
+	WordsPerSqrtN float64 `json:"wc_words_per_sqrt_n"`
+}
+
+func sweepRows(seed int64) []sweepRow {
+	var rows []sweepRow
 	for _, n := range []int{64, 128, 256, 512, 1024} {
 		d := dyncon.New(dyncon.Config{N: n, Mode: dyncon.CC, ExpectedEdges: 5 * n})
 		rng := rand.New(rand.NewSource(seed))
@@ -184,7 +362,20 @@ func sweep(seed int64) {
 			}
 		}
 		root := math.Sqrt(11 * float64(n))
-		fmt.Fprintf(w, "%d\t%d\t%d\t%d\t%.1f\n", n, maxR, maxA, maxW, float64(maxW)/root)
+		rows = append(rows, sweepRow{
+			N: n, WorstRounds: maxR, WorstMachines: maxA, WorstWords: maxW,
+			WordsPerSqrtN: float64(maxW) / root,
+		})
+	}
+	return rows
+}
+
+func printSweep(rows []sweepRow) {
+	fmt.Println("\nScaling sweep (§5 connectivity): words/round vs N")
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "n\trounds/upd (wc)\tmach/round (wc)\twords/round (wc)\twords/√N\n")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%d\t%d\t%d\t%d\t%.1f\n", r.N, r.WorstRounds, r.WorstMachines, r.WorstWords, r.WordsPerSqrtN)
 	}
 	w.Flush()
 	fmt.Println("(flat rounds and a roughly constant words/√N column are the paper's shape)")
@@ -195,12 +386,30 @@ func main() {
 	updates := flag.Int("updates", 500, "updates per algorithm")
 	seed := flag.Int64("seed", 1, "stream seed")
 	doSweep := flag.Bool("sweep", false, "run the scaling sweep")
+	batch := flag.Int("batch", 0, "measure the batch pipeline at this batch size (and k=1)")
+	asJSON := flag.Bool("json", false, "emit the measurements as JSON")
 	flag.Parse()
 
+	rows := table(*n, *updates, *seed)
+	var brows []batchRow
+	if *batch > 0 {
+		brows = batchTable(*n, *updates, *batch, *seed)
+	}
+	var srows []sweepRow
+	if *doSweep {
+		srows = sweepRows(*seed)
+	}
+	if *asJSON {
+		printJSON(rows, brows, srows, *n, *updates, *batch, *seed)
+		return
+	}
 	fmt.Printf("DMPC dynamic algorithms — Table 1 reproduction (n=%d, %d updates, seed %d)\n\n", *n, *updates, *seed)
-	printTable(table(*n, *updates, *seed), *n)
+	printTable(rows, *n)
+	if *batch > 0 {
+		printBatchTable(brows, *batch)
+	}
 	staticBaselines(*n, *seed)
 	if *doSweep {
-		sweep(*seed)
+		printSweep(srows)
 	}
 }

@@ -19,8 +19,16 @@
 //   - reduction.NewSim (§7): run any sequential dynamic algorithm in
 //     O(u(N)) rounds on O(1) machines.
 //
-// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-// reproduction of the paper's Table 1 and Figures 1-2.
+// Beyond the paper, every structure accepts batches of updates through
+// ApplyBatch: a Batch shares one round-accounting window (BatchStats), and
+// the algorithms overlap or parallelize non-conflicting updates so the
+// amortized rounds per update drop as the batch grows — the direction of
+// the batch-dynamic follow-ups (Nowicki–Onak, arXiv:2002.07800; Durfee et
+// al., arXiv:1908.01956).
+//
+// See DESIGN.md for the system inventory, the batch pipeline, and the
+// deviations from the paper; cmd/dmpcbench reproduces Table 1 and the
+// batch amortization curves (its -json snapshots live in BENCH_*.json).
 package dmpc
 
 import (
@@ -42,9 +50,17 @@ type (
 	// UpdateStats is the per-update DMPC accounting: rounds, active
 	// machines per round, words per round.
 	UpdateStats = mpc.UpdateStats
+	// Batch is an ordered sequence of updates applied as one unit.
+	Batch = graph.Batch
+	// BatchStats is the shared round-accounting window of one batch.
+	BatchStats = mpc.BatchStats
 	// Cluster is the simulated DMPC cluster.
 	Cluster = mpc.Cluster
 )
+
+// Chunk splits an update stream into consecutive batches of at most k
+// updates, preserving order.
+func Chunk(updates []Update, k int) []Batch { return graph.Chunk(updates, k) }
 
 // Operation kinds for Update.Op.
 const (
@@ -73,6 +89,10 @@ func (c *Connectivity) Delete(u, v int) UpdateStats { return c.d.Delete(u, v) }
 // Connected answers a connectivity query through the cluster.
 func (c *Connectivity) Connected(u, v int) bool { return c.d.Connected(u, v) }
 
+// ApplyBatch applies a batch of updates in one shared round window,
+// running component-disjoint updates concurrently (see dyncon.ApplyBatch).
+func (c *Connectivity) ApplyBatch(b Batch) BatchStats { return c.d.ApplyBatch(b) }
+
 // ComponentOf returns v's component label.
 func (c *Connectivity) ComponentOf(v int) int64 { return c.d.CompOf(v) }
 
@@ -93,6 +113,10 @@ func (m *MST) Insert(u, v int, w Weight) UpdateStats { return m.d.Insert(u, v, w
 
 // Delete removes an edge.
 func (m *MST) Delete(u, v int) UpdateStats { return m.d.Delete(u, v) }
+
+// ApplyBatch applies a batch of updates in one shared round window,
+// running component-disjoint updates concurrently (see dyncon.ApplyBatch).
+func (m *MST) ApplyBatch(b Batch) BatchStats { return m.d.ApplyBatch(b) }
 
 // Weight returns the maintained forest's total (bucketed) weight.
 func (m *MST) Weight() Weight { return m.d.ForestWeight() }
@@ -127,6 +151,12 @@ func (mm *MaximalMatching) Insert(u, v int) UpdateStats { return mm.m.Insert(u, 
 // Delete removes an edge.
 func (mm *MaximalMatching) Delete(u, v int) UpdateStats { return mm.m.Delete(u, v) }
 
+// ApplyBatch applies a batch of updates in one shared round window,
+// chaining them through the coordinator so injection and ack-tail rounds
+// are paid once per batch (see dmm.ApplyBatch). The resulting matching is
+// identical to applying the updates one at a time.
+func (mm *MaximalMatching) ApplyBatch(b Batch) BatchStats { return mm.m.ApplyBatch(b) }
+
 // MateTable returns the current matching as a mate table (-1 = free).
 func (mm *MaximalMatching) MateTable() []int { return mm.m.MateTable() }
 
@@ -146,6 +176,11 @@ func (am *AlmostMaximalMatching) Insert(u, v int) UpdateStats { return am.m.Inse
 
 // Delete removes an edge.
 func (am *AlmostMaximalMatching) Delete(u, v int) UpdateStats { return am.m.Delete(u, v) }
+
+// ApplyBatch applies a batch of updates in one shared round window:
+// endpoint-disjoint injection waves plus scheduler cycles shared across
+// the batch (see amm.ApplyBatch).
+func (am *AlmostMaximalMatching) ApplyBatch(b Batch) BatchStats { return am.m.ApplyBatch(b) }
 
 // MateTable returns the current matching as a mate table (-1 = free).
 func (am *AlmostMaximalMatching) MateTable() []int { return am.m.MateTable() }

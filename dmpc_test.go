@@ -132,3 +132,59 @@ func TestWorstCaseRoundsFlatAcrossSizes(t *testing.T) {
 		t.Fatalf("MST worst rounds grew: %d -> %d", mst32, mst256)
 	}
 }
+
+// TestBatchPipeline drives ApplyBatch through the public API: batch
+// application must match sequential application exactly for connectivity
+// and maximal matching, and the amortized rounds per update at k=64 must
+// be strictly lower than at k=1 — the batch-dynamic headline.
+func TestBatchPipeline(t *testing.T) {
+	const n = 64
+	rng := rand.New(rand.NewSource(21))
+	stream := graph.RandomStream(n, 256, 0.55, 1, rng)
+
+	amortized := func(k int) (cc, mm float64) {
+		c := NewConnectivity(n, 5*n)
+		m := NewMaximalMatching(n, 5*n)
+		var ccR, mmR, upd int
+		for _, b := range Chunk(stream, k) {
+			ccR += c.ApplyBatch(b).Rounds
+			mmR += m.ApplyBatch(b).Rounds
+			upd += len(b)
+		}
+		if k == 64 {
+			// Pin equivalence against per-update application.
+			seqC := NewConnectivity(n, 5*n)
+			seqM := NewMaximalMatching(n, 5*n)
+			for _, up := range stream {
+				if up.Op == Insert {
+					seqC.Insert(up.U, up.V)
+					seqM.Insert(up.U, up.V)
+				} else {
+					seqC.Delete(up.U, up.V)
+					seqM.Delete(up.U, up.V)
+				}
+			}
+			for v := 0; v < n; v++ {
+				if c.ComponentOf(v) != seqC.ComponentOf(v) {
+					t.Fatalf("component of %d differs between batch and sequential", v)
+				}
+			}
+			want, got := seqM.MateTable(), m.MateTable()
+			for v := range want {
+				if want[v] != got[v] {
+					t.Fatalf("mate of %d differs between batch and sequential", v)
+				}
+			}
+		}
+		return float64(ccR) / float64(upd), float64(mmR) / float64(upd)
+	}
+
+	cc1, mm1 := amortized(1)
+	cc64, mm64 := amortized(64)
+	if cc64 >= cc1 {
+		t.Fatalf("connectivity amortized rounds/update did not drop: k=1 %.2f, k=64 %.2f", cc1, cc64)
+	}
+	if mm64 >= mm1 {
+		t.Fatalf("matching amortized rounds/update did not drop: k=1 %.2f, k=64 %.2f", mm1, mm64)
+	}
+}

@@ -1,0 +1,3 @@
+module dmpc
+
+go 1.22

@@ -1,0 +1,66 @@
+package amm
+
+import (
+	"math/rand"
+	"testing"
+
+	"dmpc/internal/graph"
+)
+
+// TestBatchValidity pins the batch contract of the randomized §6
+// structure: after every batch the matching is valid and the §6 invariants
+// hold over the same final graph. (Exact equality with sequential
+// application is not required here — shuffle/rise probes fire per cycle,
+// not per update; see the ApplyBatch comment.)
+func TestBatchValidity(t *testing.T) {
+	for _, k := range []int{1, 8, 32} {
+		const n = 40
+		rng := rand.New(rand.NewSource(23))
+		stream := graph.RandomStream(n, 220, 0.55, 1, rng)
+		m := New(Config{N: n, Seed: 7})
+		g := graph.New(n)
+		for _, b := range graph.Chunk(stream, k) {
+			st := m.ApplyBatch(b)
+			if st.Updates != len(b) || st.Rounds == 0 {
+				t.Fatalf("k=%d: bad batch stats %+v", k, st)
+			}
+			b.Apply(g)
+			if !graph.IsMatching(g, m.MateTable()) {
+				t.Fatalf("k=%d: invalid matching after batch", k)
+			}
+			if err := m.Validate(g); err != nil {
+				t.Fatalf("k=%d: invariants broken after batch: %v", k, err)
+			}
+		}
+		if v := m.Cluster().Stats().Violations; v != 0 {
+			t.Fatalf("k=%d: %d cluster constraint violations", k, v)
+		}
+		// No assertion on QueueBacklog: a residual backlog is legitimate
+		// (vertices whose sampling pools are exhausted wait in queue under
+		// sequential application too); Validate above already checks that
+		// every free-free edge has a pending endpoint.
+	}
+}
+
+// TestBatchAmortizedRoundsDrop pins the §6 batching win: cycles are shared
+// across the batch (the scheduler drains Δ-bounded batches per cycle), so
+// rounds per update fall as k grows.
+func TestBatchAmortizedRoundsDrop(t *testing.T) {
+	const n = 64
+	perUpdate := func(k int) float64 {
+		rng := rand.New(rand.NewSource(29))
+		stream := graph.RandomStream(n, 256, 0.55, 1, rng)
+		m := New(Config{N: n, Seed: 9})
+		rounds, updates := 0, 0
+		for _, b := range graph.Chunk(stream, k) {
+			st := m.ApplyBatch(b)
+			rounds += st.Rounds
+			updates += st.Updates
+		}
+		return float64(rounds) / float64(updates)
+	}
+	r1, r64 := perUpdate(1), perUpdate(64)
+	if r64 >= r1 {
+		t.Fatalf("amortized rounds/update did not drop: k=1 %.2f, k=64 %.2f", r1, r64)
+	}
+}

@@ -173,6 +173,12 @@ type coordinator struct {
 	waiting int
 	replies []cmsg
 	cont    func(ctx *mpc.Ctx)
+
+	// batch chaining: updates arriving while one is in flight queue here
+	// and start in the round the previous update finishes, overlapping each
+	// update's injection and ack-tail rounds with its successor.
+	busy  bool
+	queue []cmsg
 }
 
 func newCoordinator(cfg Config, mu, numStats, statsPer, mem, heavyAt, aliveCap int) *coordinator {
@@ -197,7 +203,7 @@ func newCoordinator(cfg Config, mu, numStats, statsPer, mem, heavyAt, aliveCap i
 func (c *coordinator) firstStore() int { return 1 + c.numStats }
 
 func (c *coordinator) MemWords() int {
-	return len(c.h)*4 + len(c.lastSync)*2 + len(c.freeWords) + 16
+	return len(c.h)*4 + len(c.lastSync)*2 + len(c.freeWords) + 4*len(c.queue) + 16
 }
 
 func (c *coordinator) statsOf(v int32) int32 { return 1 + v/int32(c.statsPer) }
@@ -308,6 +314,10 @@ func (c *coordinator) HandleRound(ctx *mpc.Ctx, inbox []mpc.Message) {
 		}
 		switch m.Kind {
 		case cUpdate:
+			if c.busy {
+				c.queue = append(c.queue, m)
+				continue
+			}
 			c.startUpdate(ctx, m)
 		case cStatsRep, cScanRep, cAck, cListRep, cCtrRep:
 			if m.Kind != cStatsRep && m.Kind != cCtrRep {
@@ -428,15 +438,34 @@ func (c *coordinator) unmatchPair(ctx *mpc.Ctx, v, w int32) {
 // with the round-robin refresh that keeps every storage machine within
 // O(√N) updates of the history.
 func (c *coordinator) finishUpdate(ctx *mpc.Ctx) {
+	done := func(ctx *mpc.Ctx) {
+		c.refreshOne(ctx)
+		c.updateDone(ctx)
+	}
 	if c.threeHalves {
 		c.counterFlush(ctx, func(ctx *mpc.Ctx) {
 			c.augSweep(ctx, func(ctx *mpc.Ctx) {
-				c.counterFlush(ctx, c.refreshOne)
+				c.counterFlush(ctx, done)
 			})
 		})
 		return
 	}
-	c.refreshOne(ctx)
+	done(ctx)
+}
+
+// updateDone clears the in-flight flag and chains the next queued update,
+// if any, into the current round: its first stats requests leave in the
+// same round as the finished update's final writes and refresh, so a batch
+// of k updates pays the injection and ack-tail rounds once instead of k
+// times.
+func (c *coordinator) updateDone(ctx *mpc.Ctx) {
+	c.busy = false
+	if len(c.queue) == 0 {
+		return
+	}
+	m := c.queue[0]
+	c.queue = c.queue[1:]
+	c.startUpdate(ctx, m)
 }
 
 func (c *coordinator) refreshOne(ctx *mpc.Ctx) {

@@ -142,10 +142,35 @@ func (m *M) update(up graph.Update) mpc.UpdateStats {
 		Payload: cmsg{Kind: cUpdate, A: int32(up.U), B: int32(up.V), Seq: m.seq, Del: up.Op == graph.Delete},
 		Words:   4,
 	})
-	if n := m.cluster.Run(80); n >= 80 {
+	if m.cluster.Run(80); !m.cluster.Quiescent() {
 		panic(fmt.Sprintf("dmm: update %v did not quiesce in 80 rounds", up))
 	}
 	return m.cluster.EndUpdate()
+}
+
+// ApplyBatch processes a batch of updates in one shared round-accounting
+// window. All k updates are injected at MC in a single round; the
+// coordinator executes them in order (the §3 case analysis is inherently
+// serial at MC) but chains each update's first requests into the round the
+// previous update finishes, so the injection round and the set/refresh ack
+// tail — a constant number of rounds per update — are paid once per batch.
+// The resulting matching is identical to applying the updates one at a
+// time.
+func (m *M) ApplyBatch(batch graph.Batch) mpc.BatchStats {
+	m.cluster.BeginBatch(len(batch))
+	for _, up := range batch {
+		m.seq++
+		m.cluster.Send(mpc.Message{
+			From: -1, To: 0,
+			Payload: cmsg{Kind: cUpdate, A: int32(up.U), B: int32(up.V), Seq: m.seq, Del: up.Op == graph.Delete},
+			Words:   4,
+		})
+	}
+	limit := 80*len(batch) + 16
+	if m.cluster.Run(limit); !m.cluster.Quiescent() {
+		panic(fmt.Sprintf("dmm: batch of %d updates did not quiesce in %d rounds", len(batch), limit))
+	}
+	return m.cluster.EndBatch()
 }
 
 // MateTable reads the authoritative mate table from the statistics

@@ -10,10 +10,12 @@ import (
 // messages bound communication by O(√N) words per round.
 
 func (c *coordinator) startUpdate(ctx *mpc.Ctx, m cmsg) {
+	c.busy = true
+	c.updSeq = m.Seq
 	if m.A == m.B {
+		c.updateDone(ctx)
 		return
 	}
-	c.updSeq = m.Seq
 	if m.Del {
 		c.startDelete(ctx, m.A, m.B)
 	} else {

@@ -1,0 +1,116 @@
+package dyncon
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"dmpc/internal/graph"
+)
+
+func forestKey(d *D) []graph.WEdge {
+	out := d.ForestEdges()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].U != out[j].U {
+			return out[i].U < out[j].U
+		}
+		return out[i].V < out[j].V
+	})
+	return out
+}
+
+// TestBatchEquivalence pins the wave-concurrent batch pipeline: applying a
+// stream in batches of k yields exactly the forest and component labeling
+// of sequential application, in both CC and exact-MST modes.
+func TestBatchEquivalence(t *testing.T) {
+	type mode struct {
+		name string
+		cfg  Config
+	}
+	const n = 40
+	modes := []mode{
+		{"cc", Config{N: n, Mode: CC, ExpectedEdges: 200}},
+		{"mst", Config{N: n, Mode: MST, Eps: 0, ExpectedEdges: 200}},
+	}
+	for _, md := range modes {
+		for _, k := range []int{1, 8, 32} {
+			rng := rand.New(rand.NewSource(17))
+			stream := graph.RandomStream(n, 220, 0.55, 40, rng)
+
+			seqD := New(md.cfg)
+			for _, up := range stream {
+				if up.Op == graph.Insert {
+					seqD.Insert(up.U, up.V, up.W)
+				} else {
+					seqD.Delete(up.U, up.V)
+				}
+			}
+
+			batD := New(md.cfg)
+			g := graph.New(n)
+			for _, b := range graph.Chunk(stream, k) {
+				st := batD.ApplyBatch(b)
+				if st.Updates != len(b) || st.Rounds == 0 {
+					t.Fatalf("%s k=%d: bad batch stats %+v", md.name, k, st)
+				}
+				b.Apply(g)
+				if err := batD.Validate(); err != nil {
+					t.Fatalf("%s k=%d: invariants broken after batch: %v", md.name, k, err)
+				}
+			}
+
+			wantF, gotF := forestKey(seqD), forestKey(batD)
+			if len(wantF) != len(gotF) {
+				t.Fatalf("%s k=%d: forest sizes differ: %d vs %d", md.name, k, len(gotF), len(wantF))
+			}
+			for i := range wantF {
+				if wantF[i] != gotF[i] {
+					t.Fatalf("%s k=%d: forest edge %d differs: %v vs %v", md.name, k, i, gotF[i], wantF[i])
+				}
+			}
+			for v := 0; v < n; v++ {
+				if seqD.CompOf(v) != batD.CompOf(v) {
+					t.Fatalf("%s k=%d: component of %d differs: %d vs %d",
+						md.name, k, v, batD.CompOf(v), seqD.CompOf(v))
+				}
+			}
+			comp := graph.Components(g)
+			labels := make([]int, n)
+			for v := 0; v < n; v++ {
+				labels[v] = int(batD.CompOf(v))
+			}
+			if !graph.SameLabeling(labels, comp) {
+				t.Fatalf("%s k=%d: labels do not partition like the oracle", md.name, k)
+			}
+			if md.name == "mst" && batD.ForestWeight() != graph.MSFWeight(g) {
+				t.Fatalf("mst k=%d: forest weight %d, oracle %d", k, batD.ForestWeight(), graph.MSFWeight(g))
+			}
+			if v := batD.Cluster().Stats().Violations; v != 0 {
+				t.Fatalf("%s k=%d: %d cluster constraint violations", md.name, k, v)
+			}
+		}
+	}
+}
+
+// TestBatchAmortizedRoundsDrop pins the batching win for §5: waves of
+// component-disjoint updates share their round window, so amortized rounds
+// per update fall as the batch grows.
+func TestBatchAmortizedRoundsDrop(t *testing.T) {
+	const n = 96
+	perUpdate := func(k int) float64 {
+		rng := rand.New(rand.NewSource(3))
+		stream := graph.RandomStream(n, 256, 0.55, 1, rng)
+		d := New(Config{N: n, Mode: CC, ExpectedEdges: 5 * n})
+		rounds, updates := 0, 0
+		for _, b := range graph.Chunk(stream, k) {
+			st := d.ApplyBatch(b)
+			rounds += st.Rounds
+			updates += st.Updates
+		}
+		return float64(rounds) / float64(updates)
+	}
+	r1, r64 := perUpdate(1), perUpdate(64)
+	if r64 >= r1 {
+		t.Fatalf("amortized rounds/update did not drop: k=1 %.2f, k=64 %.2f", r1, r64)
+	}
+}

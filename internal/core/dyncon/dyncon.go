@@ -137,7 +137,7 @@ func (d *D) opWeight(w graph.Weight) graph.Weight {
 // cluster for the O(1) rounds of the §5 protocol. It returns the update's
 // accounting.
 func (d *D) Insert(u, v int, w graph.Weight) mpc.UpdateStats {
-	return d.update(graph.Update{Op: graph.Insert, U: u, V: v, W: d.opWeight(w)})
+	return d.update(graph.Update{Op: graph.Insert, U: u, V: v, W: w})
 }
 
 // Delete removes edge (u,v).
@@ -148,18 +148,61 @@ func (d *D) Delete(u, v int) mpc.UpdateStats {
 func (d *D) update(up graph.Update) mpc.UpdateStats {
 	d.seq++
 	d.cluster.BeginUpdate()
+	d.inject(up)
+	if d.cluster.Run(64); !d.cluster.Quiescent() {
+		panic(fmt.Sprintf("dyncon: update %v did not quiesce in 64 rounds", up))
+	}
+	return d.cluster.EndUpdate()
+}
+
+func (d *D) inject(up graph.Update) {
 	d.cluster.Send(mpc.Message{
 		From: -1, To: d.owner(up.U),
 		Payload: wire{
-			Kind: kUpdate, U: int32(up.U), V: int32(up.V), W: int64(up.W),
+			Kind: kUpdate, U: int32(up.U), V: int32(up.V), W: int64(d.opWeight(up.W)),
 			Seq: d.seq, Flag: up.Op == graph.Delete,
 		},
 		Words: 6,
 	})
-	if n := d.cluster.Run(64); n >= 64 {
-		panic(fmt.Sprintf("dyncon: update %v did not quiesce in 64 rounds", up))
+}
+
+// ApplyBatch processes a batch of updates in one shared round-accounting
+// window. The batch is cut into waves: each wave is the longest prefix of
+// the remaining updates whose endpoint components are pairwise disjoint
+// (read driver-side before injection) and whose orchestrator machines are
+// distinct. Updates of a wave run concurrently through the §5 protocol —
+// the per-shard orchestration state is keyed by update sequence number and
+// every broadcast shift map is conditioned on component labels, so
+// component-disjoint updates touch disjoint records and commute exactly.
+// The final forest therefore equals sequential application, while a wave
+// of w updates costs the rounds of one update instead of w.
+func (d *D) ApplyBatch(batch graph.Batch) mpc.BatchStats {
+	d.cluster.BeginBatch(len(batch))
+	for i := 0; i < len(batch); {
+		touched := make(map[int64]bool, 8)
+		orch := make(map[int]bool, 8)
+		j := i
+		for j < len(batch) {
+			up := batch[j]
+			cu, cv := d.CompOf(up.U), d.CompOf(up.V)
+			o := d.owner(up.U)
+			if touched[cu] || touched[cv] || orch[o] {
+				break
+			}
+			touched[cu], touched[cv] = true, true
+			orch[o] = true
+			j++
+		}
+		for _, up := range batch[i:j] {
+			d.seq++
+			d.inject(up)
+		}
+		if d.cluster.Run(64); !d.cluster.Quiescent() {
+			panic(fmt.Sprintf("dyncon: batch wave of %d updates did not quiesce in 64 rounds", j-i))
+		}
+		i = j
 	}
-	return d.cluster.EndUpdate()
+	return d.cluster.EndBatch()
 }
 
 // Connected answers a connectivity query through the cluster (two rounds,

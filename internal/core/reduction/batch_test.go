@@ -1,0 +1,46 @@
+package reduction
+
+import (
+	"math/rand"
+	"testing"
+
+	"dmpc/internal/graph"
+	"dmpc/internal/seqdyn"
+)
+
+// TestBatchSequentialReplay pins the §7 fallback: a batch costs exactly
+// the sum of its updates' round costs (no sharing — the simulation is
+// serial at the compute machine), and the wrapped structure's answers
+// still match the oracle.
+func TestBatchSequentialReplay(t *testing.T) {
+	const n = 32
+	rng := rand.New(rand.NewSource(31))
+	stream := graph.RandomStream(n, 120, 0.6, 1, rng)
+
+	sim := NewSim(8, 1<<17)
+	w := NewWrapped(sim, HDTTarget{H: seqdyn.NewHDT(n)})
+	g := graph.New(n)
+	for _, b := range graph.Chunk(stream, 16) {
+		before := len(sim.Cluster().Stats().Updates())
+		st := w.ApplyBatch(b)
+		if st.Updates != len(b) {
+			t.Fatalf("batch stats cover %d updates, want %d", st.Updates, len(b))
+		}
+		sum := 0
+		for _, u := range sim.Cluster().Stats().Updates()[before:] {
+			sum += u.Rounds
+		}
+		if st.Rounds != sum {
+			t.Fatalf("batch rounds %d != sum of per-update rounds %d", st.Rounds, sum)
+		}
+		b.Apply(g)
+	}
+	comp := graph.Components(g)
+	for u := 0; u < n; u += 3 {
+		for v := u + 1; v < n; v += 2 {
+			if w.Target.(HDTTarget).H.Connected(u, v) != (comp[u] == comp[v]) {
+				t.Fatalf("Connected(%d,%d) mismatch after batched replay", u, v)
+			}
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package graph
+
+// Batch is an ordered sequence of updates applied to a dynamic structure as
+// one unit, sharing a single round-accounting window in the DMPC simulator.
+// Applying a batch is semantically equivalent to applying its updates one
+// at a time in order; batching only changes how rounds are charged and lets
+// algorithms overlap or parallelize non-conflicting updates.
+type Batch []Update
+
+// Chunk splits a stream into consecutive batches of at most k updates,
+// preserving order. k <= 1 yields singleton batches (per-update semantics).
+func Chunk(updates []Update, k int) []Batch {
+	if k < 1 {
+		k = 1
+	}
+	out := make([]Batch, 0, (len(updates)+k-1)/k)
+	for len(updates) > 0 {
+		n := k
+		if n > len(updates) {
+			n = len(updates)
+		}
+		out = append(out, Batch(updates[:n:n]))
+		updates = updates[n:]
+	}
+	return out
+}
+
+// Inserts and Deletes count the batch's operations by kind.
+func (b Batch) Inserts() int {
+	n := 0
+	for _, u := range b {
+		if u.Op == Insert {
+			n++
+		}
+	}
+	return n
+}
+
+// Deletes counts the deletion operations in the batch.
+func (b Batch) Deletes() int { return len(b) - b.Inserts() }
+
+// Apply replays the batch onto g, returning how many updates changed it.
+func (b Batch) Apply(g *Graph) int {
+	changed := 0
+	for _, u := range b {
+		if g.Apply(u) {
+			changed++
+		}
+	}
+	return changed
+}
+
+// DisjointPrefix returns the length of the longest prefix of b whose
+// updates touch pairwise-disjoint endpoint sets, capped at max (0 = no
+// cap). Endpoint-disjoint updates mutate disjoint vertex state, so an
+// algorithm may inject such a prefix into its cluster concurrently and
+// still match the sequential outcome exactly.
+func (b Batch) DisjointPrefix(max int) int {
+	if max <= 0 || max > len(b) {
+		max = len(b)
+	}
+	touched := make(map[int]bool, 2*max)
+	for i := 0; i < max; i++ {
+		u := b[i]
+		if touched[u.U] || touched[u.V] {
+			return i
+		}
+		touched[u.U] = true
+		touched[u.V] = true
+	}
+	return max
+}

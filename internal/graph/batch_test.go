@@ -1,0 +1,97 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestChunk(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	stream := RandomStream(20, 23, 0.6, 1, rng)
+	for _, k := range []int{1, 4, 23, 100} {
+		chunks := Chunk(stream, k)
+		total := 0
+		for i, b := range chunks {
+			if len(b) > k {
+				t.Fatalf("k=%d: chunk %d has %d updates", k, i, len(b))
+			}
+			if i < len(chunks)-1 && len(b) != k {
+				t.Fatalf("k=%d: non-final chunk %d has %d updates", k, i, len(b))
+			}
+			total += len(b)
+		}
+		flat := make([]Update, 0, total)
+		for _, b := range chunks {
+			flat = append(flat, b...)
+		}
+		if len(flat) != len(stream) {
+			t.Fatalf("k=%d: chunking dropped updates: %d vs %d", k, len(flat), len(stream))
+		}
+		for i := range flat {
+			if flat[i] != stream[i] {
+				t.Fatalf("k=%d: update %d reordered", k, i)
+			}
+		}
+	}
+	if got := Chunk(stream, 0); len(got[0]) != 1 {
+		t.Fatalf("k=0 should clamp to singleton batches, got %d", len(got[0]))
+	}
+	if got := Chunk(nil, 4); len(got) != 0 {
+		t.Fatalf("empty stream should chunk to nothing, got %d batches", len(got))
+	}
+}
+
+func TestBatchApplyMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	stream := RandomStream(16, 80, 0.55, 9, rng)
+	seq := New(16)
+	for _, up := range stream {
+		seq.Apply(up)
+	}
+	bat := New(16)
+	for _, b := range Chunk(stream, 7) {
+		b.Apply(bat)
+	}
+	se, be := seq.Edges(), bat.Edges()
+	if len(se) != len(be) {
+		t.Fatalf("edge counts differ: %d vs %d", len(be), len(se))
+	}
+	for i := range se {
+		if se[i] != be[i] {
+			t.Fatalf("edge %d differs: %v vs %v", i, be[i], se[i])
+		}
+	}
+}
+
+func TestDisjointPrefix(t *testing.T) {
+	b := Batch{
+		{Op: Insert, U: 0, V: 1},
+		{Op: Insert, U: 2, V: 3},
+		{Op: Delete, U: 4, V: 5},
+		{Op: Insert, U: 1, V: 6}, // shares vertex 1 with the first update
+		{Op: Insert, U: 7, V: 8},
+	}
+	if got := b.DisjointPrefix(0); got != 3 {
+		t.Fatalf("DisjointPrefix = %d, want 3", got)
+	}
+	if got := b.DisjointPrefix(2); got != 2 {
+		t.Fatalf("DisjointPrefix capped at 2 = %d", got)
+	}
+	if got := b[3:].DisjointPrefix(0); got != 2 {
+		t.Fatalf("DisjointPrefix of tail = %d, want 2", got)
+	}
+	if got := (Batch{}).DisjointPrefix(0); got != 0 {
+		t.Fatalf("DisjointPrefix of empty = %d, want 0", got)
+	}
+}
+
+func TestBatchCounts(t *testing.T) {
+	b := Batch{
+		{Op: Insert, U: 0, V: 1},
+		{Op: Delete, U: 0, V: 1},
+		{Op: Insert, U: 2, V: 3},
+	}
+	if b.Inserts() != 2 || b.Deletes() != 1 {
+		t.Fatalf("counts: %d inserts, %d deletes", b.Inserts(), b.Deletes())
+	}
+}

@@ -1,0 +1,66 @@
+package mpc
+
+import "testing"
+
+type bounceMachine struct{}
+
+func (bounceMachine) HandleRound(ctx *Ctx, inbox []Message) {
+	for _, m := range inbox {
+		if m.Payload == "ping" {
+			ctx.Send((m.To+1)%ctx.Machines(), "pong", 1)
+		}
+	}
+}
+
+// TestBatchAccounting pins the BatchStats window semantics: rounds between
+// BeginBatch and EndBatch fold into one aggregate, per-update accounting
+// nests inside it, and the amortized helpers report against the batch's
+// update count.
+func TestBatchAccounting(t *testing.T) {
+	c := NewCluster(Config{Machines: 4, MemWords: 64})
+	for i := 0; i < 4; i++ {
+		c.SetMachine(i, bounceMachine{})
+	}
+
+	c.BeginBatch(3)
+	c.BeginUpdate()
+	c.Send(Message{From: -1, To: 0, Payload: "ping", Words: 1})
+	c.Run(8)
+	inner := c.EndUpdate()
+	c.Send(Message{From: -1, To: 1, Payload: "ping", Words: 1})
+	c.Run(8)
+	b := c.EndBatch()
+
+	if b.Updates != 3 {
+		t.Fatalf("batch covers %d updates, want 3", b.Updates)
+	}
+	if b.Rounds == 0 || b.Rounds < inner.Rounds {
+		t.Fatalf("batch rounds %d must cover nested update rounds %d", b.Rounds, inner.Rounds)
+	}
+	if want := float64(b.Rounds) / 3; b.RoundsPerUpdate() != want {
+		t.Fatalf("RoundsPerUpdate %.3f, want %.3f", b.RoundsPerUpdate(), want)
+	}
+	if b.SumWords == 0 || b.MaxActive == 0 {
+		t.Fatalf("batch word/active accounting empty: %+v", b)
+	}
+
+	batches := c.Stats().Batches()
+	if len(batches) != 1 || batches[0] != b {
+		t.Fatalf("recorded batches %+v, want [%+v]", batches, b)
+	}
+	rpu, act, words := c.Stats().MeanBatch()
+	if rpu != b.RoundsPerUpdate() || act == 0 || words == 0 {
+		t.Fatalf("MeanBatch = (%.2f, %.2f, %.2f)", rpu, act, words)
+	}
+
+	// Rounds outside any batch window must not fold in.
+	c.Send(Message{From: -1, To: 0, Payload: "ping", Words: 1})
+	c.Run(8)
+	if got := c.Stats().Batches(); len(got) != 1 || got[0].Rounds != b.Rounds {
+		t.Fatal("rounds outside the batch window leaked into the aggregate")
+	}
+
+	if z := c.EndBatch(); z != (BatchStats{}) {
+		t.Fatalf("EndBatch without BeginBatch = %+v", z)
+	}
+}

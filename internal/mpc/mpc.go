@@ -124,6 +124,41 @@ func (u *UpdateStats) Add(r RoundStats) {
 	}
 }
 
+// BatchStats aggregates the rounds spent processing one batch of k dynamic
+// updates that share a single round-accounting window. Where UpdateStats
+// charges every update its own rounds, a batch charges the whole window
+// once, so RoundsPerUpdate reports the amortized cost the batch-dynamic
+// model (Nowicki–Onak, arXiv:2002.07800) optimizes for.
+type BatchStats struct {
+	Updates   int // k, the number of updates covered by the window
+	Rounds    int
+	MaxActive int // max active machines over the batch's rounds
+	SumActive int
+	MaxWords  int // max communicated words in any round of the batch
+	SumWords  int
+}
+
+// Add folds a round into the batch aggregate.
+func (b *BatchStats) Add(r RoundStats) {
+	b.Rounds++
+	b.SumActive += r.Active
+	b.SumWords += r.Words
+	if r.Active > b.MaxActive {
+		b.MaxActive = r.Active
+	}
+	if r.Words > b.MaxWords {
+		b.MaxWords = r.Words
+	}
+}
+
+// RoundsPerUpdate returns the amortized rounds per update of the batch.
+func (b BatchStats) RoundsPerUpdate() float64 {
+	if b.Updates == 0 {
+		return 0
+	}
+	return float64(b.Rounds) / float64(b.Updates)
+}
+
 // Stats is the lifetime accounting of a cluster.
 type Stats struct {
 	Rounds        int
@@ -134,6 +169,8 @@ type Stats struct {
 	pairWords     map[[2]int]int // communication volume per (from,to) pair
 	updates       []UpdateStats
 	currentUpdate *UpdateStats
+	batches       []BatchStats
+	currentBatch  *BatchStats
 }
 
 // Updates returns per-update statistics recorded between BeginUpdate and
@@ -142,6 +179,34 @@ func (s *Stats) Updates() []UpdateStats {
 	out := make([]UpdateStats, len(s.updates))
 	copy(out, s.updates)
 	return out
+}
+
+// Batches returns per-batch statistics recorded between BeginBatch and
+// EndBatch calls. The returned slice is owned by the caller.
+func (s *Stats) Batches() []BatchStats {
+	out := make([]BatchStats, len(s.batches))
+	copy(out, s.batches)
+	return out
+}
+
+// MeanBatch returns the amortized rounds per update, plus mean active
+// machines and words per round, over all recorded batches.
+func (s *Stats) MeanBatch() (roundsPerUpdate, activePerRound, wordsPerRound float64) {
+	var upd, r, a, w int
+	for _, b := range s.batches {
+		upd += b.Updates
+		r += b.Rounds
+		a += b.SumActive
+		w += b.SumWords
+	}
+	if upd > 0 {
+		roundsPerUpdate = float64(r) / float64(upd)
+	}
+	if r > 0 {
+		activePerRound = float64(a) / float64(r)
+		wordsPerRound = float64(w) / float64(r)
+	}
+	return roundsPerUpdate, activePerRound, wordsPerRound
 }
 
 // WorstUpdate returns the element-wise maxima over all recorded updates,
@@ -281,6 +346,25 @@ func (c *Cluster) EndUpdate() UpdateStats {
 	return *u
 }
 
+// BeginBatch starts batch accounting for k updates sharing one round
+// window; every subsequent round is folded into the batch until EndBatch.
+// Per-update accounting (BeginUpdate/EndUpdate) may nest inside a batch:
+// rounds then fold into both aggregates.
+func (c *Cluster) BeginBatch(k int) {
+	c.stats.currentBatch = &BatchStats{Updates: k}
+}
+
+// EndBatch finishes batch accounting and records the aggregate.
+func (c *Cluster) EndBatch() BatchStats {
+	b := c.stats.currentBatch
+	c.stats.currentBatch = nil
+	if b == nil {
+		return BatchStats{}
+	}
+	c.stats.batches = append(c.stats.batches, *b)
+	return *b
+}
+
 // Quiescent reports whether no machine has pending messages or scheduling,
 // i.e. whether another Round would be a no-op.
 func (c *Cluster) Quiescent() bool {
@@ -386,6 +470,9 @@ func (c *Cluster) Round() RoundStats {
 	c.stats.Words += rs.Words
 	if c.stats.currentUpdate != nil {
 		c.stats.currentUpdate.Add(rs)
+	}
+	if c.stats.currentBatch != nil {
+		c.stats.currentBatch.Add(rs)
 	}
 	return rs
 }
