@@ -252,6 +252,61 @@ func BenchmarkBatchPipeline(b *testing.B) {
 	}
 }
 
+// BenchmarkQueryPipeline measures the batched query pipeline: after a
+// warm-up stream, each protocol query path (ConnectedBatch, MateOfBatch)
+// is driven at query-batch sizes k ∈ {1, 8, 64}; the metric to watch is
+// amortized rounds/query dropping from ~2 (resp. 1) toward 2/k (resp.
+// 1/k), the read-side mirror of the batch-dynamic update curves.
+func BenchmarkQueryPipeline(b *testing.B) {
+	type runner struct {
+		name string
+		mk   func() (query func(k int, rng *rand.Rand), stats func() *mpc.Stats)
+	}
+	runners := []runner{
+		{"ConnComp", func() (func(int, *rand.Rand), func() *mpc.Stats) {
+			d := dyncon.New(dyncon.Config{N: benchN, Mode: dyncon.CC, ExpectedEdges: benchCap})
+			for _, batch := range graph.Chunk(benchStreamUpdates(14), 32) {
+				d.ApplyBatch(batch)
+			}
+			return func(k int, rng *rand.Rand) { d.ConnectedBatch(graph.RandomPairs(benchN, k, rng)) },
+				func() *mpc.Stats { return d.Cluster().Stats() }
+		}},
+		{"MaximalMatching", func() (func(int, *rand.Rand), func() *mpc.Stats) {
+			m := dmm.New(dmm.Config{N: benchN, CapEdges: benchCap})
+			for _, batch := range graph.Chunk(benchStreamUpdates(14), 32) {
+				m.ApplyBatch(batch)
+			}
+			return func(k int, rng *rand.Rand) { m.MateOfBatch(graph.RandomVerts(benchN, k, rng)) },
+				func() *mpc.Stats { return m.Cluster().Stats() }
+		}},
+		{"TwoPlusEps", func() (func(int, *rand.Rand), func() *mpc.Stats) {
+			m := amm.New(amm.Config{N: benchN, Seed: 13})
+			for _, batch := range graph.Chunk(benchStreamUpdates(14), 32) {
+				m.ApplyBatch(batch)
+			}
+			return func(k int, rng *rand.Rand) { m.MateOfBatch(graph.RandomVerts(benchN, k, rng)) },
+				func() *mpc.Stats { return m.Cluster().Stats() }
+		}},
+	}
+	for _, r := range runners {
+		for _, k := range []int{1, 8, 64} {
+			b.Run(fmt.Sprintf("%s/k=%d", r.name, k), func(b *testing.B) {
+				query, stats := r.mk()
+				rng := rand.New(rand.NewSource(31))
+				for i := 0; i < b.N; i++ {
+					for q := 0; q < 128; q += k {
+						query(k, rng)
+					}
+				}
+				if rpq, _, words := stats().MeanQuery(); rpq > 0 {
+					b.ReportMetric(rpq, "rounds/query(amortized)")
+					b.ReportMetric(words, "words/round(mean)")
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkStaticRecomputeCC is the baseline the §5 row is compared
 // against: recomputing components from scratch after every update costs
 // O(log n) rounds with all machines active and Ω(N) communication.

@@ -14,9 +14,16 @@
 // perf trajectory can be committed as BENCH_NNNN.json snapshots and
 // diffed across PRs.
 //
+// With -queries Q a mixed read/write workload is measured on top: update
+// batches are interleaved with protocol query batches
+// (ConnectedBatch/MateOfBatch) holding the read fraction at -readfrac,
+// at query-batch sizes k ∈ {1, 8, 64}, and the amortized rounds per
+// query are reported alongside that run's rounds per update — the read
+// path's counterpart of the batch-dynamic headline.
+//
 // Usage:
 //
-//	dmpcbench [-n 128] [-updates 500] [-seed 1] [-sweep] [-batch k] [-json]
+//	dmpcbench [-n 128] [-updates 500] [-seed 1] [-sweep] [-batch k] [-queries Q] [-readfrac f] [-json]
 package main
 
 import (
@@ -233,6 +240,122 @@ func batchTable(n, nUpdates, batch int, seed int64) []batchRow {
 	return rows
 }
 
+// --- mixed read/write workload -------------------------------------------
+
+// queryRow is one algorithm's mixed-workload measurement at one query
+// batch size.
+type queryRow struct {
+	name           string
+	k              int     // query batch size
+	queries        int     // protocol queries issued
+	windows        int     // query windows (batches) recorded
+	roundsPerQuery float64 // amortized over all query windows
+	updAmortized   float64 // rounds/update of the interleaved update batches
+	maxActive      int     // wc machines over the query windows
+	meanWords      float64 // words/round over the query windows
+}
+
+// queryRunner builds a fresh algorithm instance exposing its batched write
+// and read paths plus its cluster stats.
+type queryRunner struct {
+	name string
+	mk   func() (apply func(graph.Batch) mpc.BatchStats, query func(k int, rng *rand.Rand), stats func() *mpc.Stats)
+}
+
+func queryRunners(n, capEdges int, seed int64) []queryRunner {
+	mates := func(k int, rng *rand.Rand) []int { return graph.RandomVerts(n, k, rng) }
+	return []queryRunner{
+		{"Connected comps (§5)", func() (func(graph.Batch) mpc.BatchStats, func(int, *rand.Rand), func() *mpc.Stats) {
+			d := dyncon.New(dyncon.Config{N: n, Mode: dyncon.CC, ExpectedEdges: capEdges})
+			return d.ApplyBatch, func(k int, rng *rand.Rand) { d.ConnectedBatch(graph.RandomPairs(n, k, rng)) }, func() *mpc.Stats { return d.Cluster().Stats() }
+		}},
+		{"(1+ε)-MST (§5.1)", func() (func(graph.Batch) mpc.BatchStats, func(int, *rand.Rand), func() *mpc.Stats) {
+			d := dyncon.New(dyncon.Config{N: n, Mode: dyncon.MST, Eps: 0.25, ExpectedEdges: capEdges})
+			return d.ApplyBatch, func(k int, rng *rand.Rand) { d.ConnectedBatch(graph.RandomPairs(n, k, rng)) }, func() *mpc.Stats { return d.Cluster().Stats() }
+		}},
+		{"Maximal matching (§3)", func() (func(graph.Batch) mpc.BatchStats, func(int, *rand.Rand), func() *mpc.Stats) {
+			m := dmm.New(dmm.Config{N: n, CapEdges: capEdges})
+			return m.ApplyBatch, func(k int, rng *rand.Rand) { m.MateOfBatch(mates(k, rng)) }, func() *mpc.Stats { return m.Cluster().Stats() }
+		}},
+		{"3/2-approx matching (§4)", func() (func(graph.Batch) mpc.BatchStats, func(int, *rand.Rand), func() *mpc.Stats) {
+			m := dmm.New(dmm.Config{N: n, CapEdges: capEdges, ThreeHalves: true})
+			return m.ApplyBatch, func(k int, rng *rand.Rand) { m.MateOfBatch(mates(k, rng)) }, func() *mpc.Stats { return m.Cluster().Stats() }
+		}},
+		{"(2+ε)-approx matching (§6)", func() (func(graph.Batch) mpc.BatchStats, func(int, *rand.Rand), func() *mpc.Stats) {
+			m := amm.New(amm.Config{N: n, Seed: seed})
+			return m.ApplyBatch, func(k int, rng *rand.Rand) { m.MateOfBatch(mates(k, rng)) }, func() *mpc.Stats { return m.Cluster().Stats() }
+		}},
+	}
+}
+
+// measureMixed interleaves query batches of size qk into the batched update
+// stream, issuing reads after each update chunk so the running read
+// fraction tracks readfrac, up to totalQueries reads.
+func measureMixed(qr queryRunner, stream []graph.Update, updK, qk, totalQueries int, readfrac float64, seed int64) queryRow {
+	apply, query, stats := qr.mk()
+	rng := rand.New(rand.NewSource(seed + 1000))
+	r := queryRow{name: qr.name, k: qk}
+	writes := 0
+	for _, b := range graph.Chunk(stream, updK) {
+		apply(b)
+		writes += len(b)
+		target := int(readfrac / (1 - readfrac) * float64(writes))
+		if target > totalQueries {
+			target = totalQueries
+		}
+		// The last batch before the target may be partial, so small -queries
+		// values still measure every qk honestly instead of reporting rows
+		// with zero reads.
+		for r.queries < target {
+			k := qk
+			if k > target-r.queries {
+				k = target - r.queries
+			}
+			query(k, rng)
+			r.queries += k
+		}
+	}
+	for _, q := range stats().Queries() {
+		r.windows++
+		if q.MaxActive > r.maxActive {
+			r.maxActive = q.MaxActive
+		}
+	}
+	r.roundsPerQuery, _, r.meanWords = stats().MeanQuery()
+	r.updAmortized, _, _ = stats().MeanBatch()
+	return r
+}
+
+// queryTable measures the mixed workload for every query-capable algorithm
+// at query batch sizes k ∈ {1, 8, 64} (fresh instances per k; the §7
+// reduction has no protocol query — Lemma 7.1 covers update replay only).
+// updK and readfrac must already be resolved (see main), so the reported
+// parameters are the measured ones.
+func queryTable(n, nUpdates, updK, totalQueries int, readfrac float64, seed int64) []queryRow {
+	capEdges := 6 * n
+	stream := graph.RandomStream(n, nUpdates, 0.55, 50, rand.New(rand.NewSource(seed+100)))
+	var rows []queryRow
+	for _, qr := range queryRunners(n, capEdges, seed) {
+		for _, qk := range []int{1, 8, 64} {
+			rows = append(rows, measureMixed(qr, stream, updK, qk, totalQueries, readfrac, seed))
+		}
+	}
+	return rows
+}
+
+func printQueryTable(rows []queryRow, readfrac float64) {
+	fmt.Printf("\nMixed read/write workload (readfrac %.2f, query batches via ConnectedBatch/MateOfBatch):\n", readfrac)
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "Algorithm\tqk\tqueries\trounds/query\trounds/upd (interleaved)\tmach/round (wc)\twords/round (mean)\n")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%d\t%d\t%.3f\t%.2f\t%d\t%.1f\n",
+			r.name, r.k, r.queries, r.roundsPerQuery, r.updAmortized, r.maxActive, r.meanWords)
+	}
+	w.Flush()
+	fmt.Println("(a query batch shares one scatter/gather window: 2/k rounds per connectivity")
+	fmt.Println(" query, 1/k per mate query; update accounting is untouched by the reads)")
+}
+
 func printBatchTable(rows []batchRow, batch int) {
 	fmt.Printf("\nBatch pipeline (ApplyBatch, k=%d vs k=1):\n", batch)
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
@@ -268,19 +391,44 @@ type jsonBatch struct {
 	MeanWordsPerRound float64 `json:"mean_words_per_round"`
 }
 
-type benchReport struct {
-	Schema  string      `json:"schema"`
-	N       int         `json:"n"`
-	Updates int         `json:"updates"`
-	Seed    int64       `json:"seed"`
-	BatchK  int         `json:"batch_k,omitempty"`
-	Table1  []jsonAlgo  `json:"table1"`
-	Batch   []jsonBatch `json:"batch,omitempty"`
-	Sweep   []sweepRow  `json:"sweep,omitempty"`
+type jsonQuery struct {
+	Name              string  `json:"name"`
+	K                 int     `json:"k"`
+	Queries           int     `json:"queries"`
+	Windows           int     `json:"windows"`
+	RoundsPerQuery    float64 `json:"amortized_rounds_per_query"`
+	UpdateAmortized   float64 `json:"interleaved_rounds_per_update"`
+	WorstMachines     int     `json:"wc_machines_per_round"`
+	MeanWordsPerRound float64 `json:"mean_words_per_round"`
 }
 
-func printJSON(rows []row, brows []batchRow, srows []sweepRow, n, updates, batch int, seed int64) {
+type benchReport struct {
+	Schema   string      `json:"schema"`
+	N        int         `json:"n"`
+	Updates  int         `json:"updates"`
+	Seed     int64       `json:"seed"`
+	BatchK   int         `json:"batch_k,omitempty"`
+	ReadFrac float64     `json:"read_frac,omitempty"`
+	QueryUpd int         `json:"query_upd_k,omitempty"` // update-batch size of the mixed runs
+	Table1   []jsonAlgo  `json:"table1"`
+	Batch    []jsonBatch `json:"batch,omitempty"`
+	Queries  []jsonQuery `json:"queries,omitempty"`
+	Sweep    []sweepRow  `json:"sweep,omitempty"`
+}
+
+func printJSON(rows []row, brows []batchRow, qrows []queryRow, srows []sweepRow, n, updates, batch, queryUpdK int, readfrac float64, seed int64) {
 	rep := benchReport{Schema: "dmpcbench/v1", N: n, Updates: updates, Seed: seed, BatchK: batch, Sweep: srows}
+	if len(qrows) > 0 {
+		rep.ReadFrac = readfrac
+		rep.QueryUpd = queryUpdK
+	}
+	for _, r := range qrows {
+		rep.Queries = append(rep.Queries, jsonQuery{
+			Name: r.name, K: r.k, Queries: r.queries, Windows: r.windows,
+			RoundsPerQuery: r.roundsPerQuery, UpdateAmortized: r.updAmortized,
+			WorstMachines: r.maxActive, MeanWordsPerRound: r.meanWords,
+		})
+	}
 	for _, r := range rows {
 		rep.Table1 = append(rep.Table1, jsonAlgo{
 			Name: r.name, Claim: r.claim,
@@ -387,6 +535,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "stream seed")
 	doSweep := flag.Bool("sweep", false, "run the scaling sweep")
 	batch := flag.Int("batch", 0, "measure the batch pipeline at this batch size (and k=1)")
+	queries := flag.Int("queries", 0, "measure the mixed read/write workload with up to this many protocol queries per run")
+	readfrac := flag.Float64("readfrac", 0.5, "target read fraction of the mixed workload")
 	asJSON := flag.Bool("json", false, "emit the measurements as JSON")
 	flag.Parse()
 
@@ -395,18 +545,34 @@ func main() {
 	if *batch > 0 {
 		brows = batchTable(*n, *updates, *batch, *seed)
 	}
+	// Resolve the mixed-workload parameters once, so table and JSON report
+	// what was actually measured.
+	queryUpdK := *batch
+	if queryUpdK < 1 {
+		queryUpdK = 64
+	}
+	if *readfrac <= 0 || *readfrac >= 1 {
+		*readfrac = 0.5
+	}
+	var qrows []queryRow
+	if *queries > 0 {
+		qrows = queryTable(*n, *updates, queryUpdK, *queries, *readfrac, *seed)
+	}
 	var srows []sweepRow
 	if *doSweep {
 		srows = sweepRows(*seed)
 	}
 	if *asJSON {
-		printJSON(rows, brows, srows, *n, *updates, *batch, *seed)
+		printJSON(rows, brows, qrows, srows, *n, *updates, *batch, queryUpdK, *readfrac, *seed)
 		return
 	}
 	fmt.Printf("DMPC dynamic algorithms — Table 1 reproduction (n=%d, %d updates, seed %d)\n\n", *n, *updates, *seed)
 	printTable(rows, *n)
 	if *batch > 0 {
 		printBatchTable(brows, *batch)
+	}
+	if *queries > 0 {
+		printQueryTable(qrows, *readfrac)
 	}
 	staticBaselines(*n, *seed)
 	if *doSweep {

@@ -24,7 +24,15 @@
 // the algorithms overlap or parallelize non-conflicting updates so the
 // amortized rounds per update drop as the batch grows — the direction of
 // the batch-dynamic follow-ups (Nowicki–Onak, arXiv:2002.07800; Durfee et
-// al., arXiv:1908.01956).
+// al., arXiv:1908.01956). The read path is symmetric: every structure
+// answers protocol queries (Connected/ComponentOf, Matched/MateOf) whose
+// rounds are charged to QueryStats windows, and batched queries
+// (ConnectedBatch, MateOfBatch) share one scatter/gather window so the
+// per-query round cost amortizes like update rounds do. Update and query
+// windows are mutually exclusive in the simulator, so rounds can never
+// leak between the two accounting classes. Driver-side oracle accessors
+// (MateTable, and dyncon's CompOf/ForestEdges) bypass the cluster and are
+// for validation only.
 //
 // See DESIGN.md for the system inventory, the batch pipeline, and the
 // deviations from the paper; cmd/dmpcbench reproduces Table 1 and the
@@ -54,6 +62,12 @@ type (
 	Batch = graph.Batch
 	// BatchStats is the shared round-accounting window of one batch.
 	BatchStats = mpc.BatchStats
+	// Pair is one query's endpoints; a []Pair is the read-side analogue of
+	// a Batch.
+	Pair = graph.Pair
+	// QueryStats is the shared round-accounting window of one query or one
+	// query batch, mutually exclusive with update/batch windows.
+	QueryStats = mpc.QueryStats
 	// Cluster is the simulated DMPC cluster.
 	Cluster = mpc.Cluster
 )
@@ -86,15 +100,27 @@ func (c *Connectivity) Insert(u, v int) UpdateStats { return c.d.Insert(u, v, 1)
 // Delete removes an edge.
 func (c *Connectivity) Delete(u, v int) UpdateStats { return c.d.Delete(u, v) }
 
-// Connected answers a connectivity query through the cluster.
+// Connected answers a connectivity query through the cluster (two rounds,
+// charged to a QueryStats window).
 func (c *Connectivity) Connected(u, v int) bool { return c.d.Connected(u, v) }
+
+// ConnectedBatch answers k connectivity queries in one shared
+// scatter/gather window, amortizing the round cost to 2/k per query (see
+// dyncon.ConnectedBatch). Answers are positional.
+func (c *Connectivity) ConnectedBatch(pairs []Pair) []bool { return c.d.ConnectedBatch(pairs) }
 
 // ApplyBatch applies a batch of updates in one shared round window,
 // running component-disjoint updates concurrently (see dyncon.ApplyBatch).
 func (c *Connectivity) ApplyBatch(b Batch) BatchStats { return c.d.ApplyBatch(b) }
 
-// ComponentOf returns v's component label.
-func (c *Connectivity) ComponentOf(v int) int64 { return c.d.CompOf(v) }
+// ComponentOf returns v's component label, as a one-round protocol query
+// through the cluster.
+func (c *Connectivity) ComponentOf(v int) int64 { return c.d.ComponentOf(v) }
+
+// CompOf returns v's component label by driver-side oracle access —
+// validation only, no protocol accounting. Use ComponentOf for the
+// protocol query.
+func (c *Connectivity) CompOf(v int) int64 { return c.d.CompOf(v) }
 
 // Cluster exposes the underlying cluster accounting.
 func (c *Connectivity) Cluster() *Cluster { return c.d.Cluster() }
@@ -118,14 +144,21 @@ func (m *MST) Delete(u, v int) UpdateStats { return m.d.Delete(u, v) }
 // running component-disjoint updates concurrently (see dyncon.ApplyBatch).
 func (m *MST) ApplyBatch(b Batch) BatchStats { return m.d.ApplyBatch(b) }
 
-// Weight returns the maintained forest's total (bucketed) weight.
+// Weight returns the maintained forest's total (bucketed) weight
+// (driver-side oracle access; validation only).
 func (m *MST) Weight() Weight { return m.d.ForestWeight() }
 
-// ForestEdges returns the maintained forest.
+// ForestEdges returns the maintained forest (driver-side oracle access;
+// validation only).
 func (m *MST) ForestEdges() []graph.WEdge { return m.d.ForestEdges() }
 
-// Connected answers connectivity through the cluster.
+// Connected answers connectivity through the cluster (two rounds, charged
+// to a QueryStats window).
 func (m *MST) Connected(u, v int) bool { return m.d.Connected(u, v) }
+
+// ConnectedBatch answers k connectivity queries in one shared
+// scatter/gather window (see dyncon.ConnectedBatch).
+func (m *MST) ConnectedBatch(pairs []Pair) []bool { return m.d.ConnectedBatch(pairs) }
 
 // Cluster exposes the underlying cluster accounting.
 func (m *MST) Cluster() *Cluster { return m.d.Cluster() }
@@ -157,7 +190,20 @@ func (mm *MaximalMatching) Delete(u, v int) UpdateStats { return mm.m.Delete(u, 
 // identical to applying the updates one at a time.
 func (mm *MaximalMatching) ApplyBatch(b Batch) BatchStats { return mm.m.ApplyBatch(b) }
 
-// MateTable returns the current matching as a mate table (-1 = free).
+// MateOf answers "who is v matched to?" (-1 = free) as a one-round
+// protocol query at v's statistics machine.
+func (mm *MaximalMatching) MateOf(v int) int { return mm.m.MateOf(v) }
+
+// MateOfBatch answers k mate queries in one shared one-round window (see
+// dmm.MateOfBatch).
+func (mm *MaximalMatching) MateOfBatch(vs []int) []int { return mm.m.MateOfBatch(vs) }
+
+// Matched reports whether (u,v) is in the matching, as a protocol query.
+func (mm *MaximalMatching) Matched(u, v int) bool { return mm.m.Matched(u, v) }
+
+// MateTable returns the current matching as a mate table (-1 = free) by
+// driver-side oracle access — validation only, no protocol accounting. Use
+// MateOf/MateOfBatch for protocol queries.
 func (mm *MaximalMatching) MateTable() []int { return mm.m.MateTable() }
 
 // Cluster exposes the underlying cluster accounting.
@@ -182,7 +228,20 @@ func (am *AlmostMaximalMatching) Delete(u, v int) UpdateStats { return am.m.Dele
 // the batch (see amm.ApplyBatch).
 func (am *AlmostMaximalMatching) ApplyBatch(b Batch) BatchStats { return am.m.ApplyBatch(b) }
 
-// MateTable returns the current matching as a mate table (-1 = free).
+// MateOf answers "who is v matched to?" (-1 = free) as a one-round
+// protocol query at v's owner machine.
+func (am *AlmostMaximalMatching) MateOf(v int) int { return am.m.MateOf(v) }
+
+// MateOfBatch answers k mate queries in one shared one-round window (see
+// amm.MateOfBatch).
+func (am *AlmostMaximalMatching) MateOfBatch(vs []int) []int { return am.m.MateOfBatch(vs) }
+
+// Matched reports whether (u,v) is in the matching, as a protocol query.
+func (am *AlmostMaximalMatching) Matched(u, v int) bool { return am.m.Matched(u, v) }
+
+// MateTable returns the current matching as a mate table (-1 = free) by
+// driver-side oracle access — validation only, no protocol accounting. Use
+// MateOf/MateOfBatch for protocol queries.
 func (am *AlmostMaximalMatching) MateTable() []int { return am.m.MateTable() }
 
 // Cluster exposes the underlying cluster accounting.

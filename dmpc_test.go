@@ -188,3 +188,64 @@ func TestBatchPipeline(t *testing.T) {
 		t.Fatalf("matching amortized rounds/update did not drop: k=1 %.2f, k=64 %.2f", mm1, mm64)
 	}
 }
+
+// TestQueryPipeline drives the batched query path through the public API:
+// ConnectedBatch and MateOfBatch agree with the oracles, the k=64
+// connectivity batch amortizes under 0.5 rounds/query (vs ~2 sequential),
+// and interleaving query batches between update batches leaves the batch
+// accounting untouched.
+func TestQueryPipeline(t *testing.T) {
+	const n = 64
+	rng := rand.New(rand.NewSource(33))
+	stream := graph.RandomStream(n, 256, 0.55, 1, rng)
+
+	cc := NewConnectivity(n, 5*n)
+	mm := NewMaximalMatching(n, 5*n)
+	g := NewGraph(n)
+	qrng := rand.New(rand.NewSource(34))
+	for _, b := range Chunk(stream, 32) {
+		cc.ApplyBatch(b)
+		mm.ApplyBatch(b)
+		b.Apply(g)
+		// A read burst between write batches.
+		pairs := graph.RandomPairs(n, 16, qrng)
+		comp := graph.Components(g)
+		for i, conn := range cc.ConnectedBatch(pairs) {
+			if conn != (comp[pairs[i].U] == comp[pairs[i].V]) {
+				t.Fatalf("ConnectedBatch(%v) wrong at %d", pairs[i], i)
+			}
+		}
+		oracle := mm.MateTable()
+		vs := []int{0, n / 2, n - 1}
+		for i, mate := range mm.MateOfBatch(vs) {
+			if mate != oracle[vs[i]] {
+				t.Fatalf("MateOfBatch[%d] = %d, oracle %d", vs[i], mate, oracle[vs[i]])
+			}
+		}
+	}
+
+	// Amortization on the public API: one k=64 window costs 2 rounds.
+	pairs := graph.RandomPairs(n, 64, qrng)
+	cc.ConnectedBatch(pairs)
+	qs := cc.Cluster().Stats().Queries()
+	last := qs[len(qs)-1]
+	if last.Queries != 64 || last.RoundsPerQuery() >= 0.5 {
+		t.Fatalf("k=64 window %+v, want < 0.5 amortized rounds/query", last)
+	}
+
+	// The interleaved reads must not have perturbed write accounting.
+	quiet := NewConnectivity(n, 5*n)
+	for _, b := range Chunk(stream, 32) {
+		quiet.ApplyBatch(b)
+	}
+	want := quiet.Cluster().Stats().Batches()
+	got := cc.Cluster().Stats().Batches()
+	if len(want) != len(got) {
+		t.Fatalf("batch window counts differ: %d vs %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("batch %d accounting differs with reads interleaved: %+v vs %+v", i, got[i], want[i])
+		}
+	}
+}

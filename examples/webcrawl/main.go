@@ -37,10 +37,13 @@ func main() {
 		sumRounds += st.Rounds
 	}
 
-	// Component census from the maintained labels.
+	// Component census from the maintained labels (driver-side validation
+	// oracle — a protocol read per page would be the unbatched query
+	// pattern the query pipeline exists to avoid, and would skew the §8
+	// entropy metric reported below).
 	sizes := map[int64]int{}
 	for v := 0; v < pages; v++ {
-		sizes[cc.ComponentOf(v)]++
+		sizes[cc.CompOf(v)]++
 	}
 	largest := 0
 	for _, s := range sizes {

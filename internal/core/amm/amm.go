@@ -63,6 +63,7 @@ type M struct {
 	shards  []*shard
 	sched   *scheduler
 	seq     int64
+	queryID int64
 }
 
 // New builds an empty instance.
@@ -218,7 +219,66 @@ func (m *M) ApplyBatch(batch graph.Batch) mpc.BatchStats {
 	return m.cluster.EndBatch()
 }
 
-// MateTable reads the authoritative mates (driver-side oracle).
+// MateOf answers "who is v matched to?" (-1 = free) through the cluster:
+// one round, one active owner machine, O(1) words, charged to a QueryStats
+// window.
+func (m *M) MateOf(v int) int {
+	return m.MateOfBatch([]int{v})[0]
+}
+
+// Matched reports whether edge (u,v) is in the maintained matching, as a
+// protocol query answered by u's owner machine.
+func (m *M) Matched(u, v int) bool {
+	return m.MateOf(u) == v
+}
+
+// MateOfBatch answers k mate queries in one shared query window: every
+// owner records its answers in the single round the queries are delivered
+// (a query-only round triggers no scheduler reports), so the batch costs
+// one round and amortizes to 1/k rounds per query. The matching state is
+// always authoritative at the owners (only level mirrors lag), so the
+// answers equal the oracle's. Update traffic still in flight from amm's
+// fixed-round driver is drained inside the query window rather than left
+// to perturb the next update window.
+func (m *M) MateOfBatch(vs []int) []int {
+	if len(vs) == 0 {
+		return nil
+	}
+	m.cluster.BeginQueryBatch(len(vs))
+	// Settle update traffic still in flight from amm's fixed-round driver
+	// *before* injecting the reads: an undelivered aExFreed sorts after a
+	// driver query in the same inbox, so answering first would return the
+	// pre-steal mate. The settling rounds are charged to the query window
+	// rather than left to perturb the next update window.
+	m.cluster.Drain(64, "amm: pre-query settle")
+	qids := make([]int64, len(vs))
+	for i, v := range vs {
+		m.queryID++
+		qids[i] = m.queryID
+		m.cluster.Send(mpc.Message{
+			From: -1, To: m.owner(v),
+			Payload: amsg{Kind: aMateQuery, U: int32(v), Seq: qids[i]},
+			Words:   3,
+		})
+	}
+	m.cluster.Drain(64, fmt.Sprintf("amm: query batch of %d", len(vs)))
+	m.cluster.EndQueryBatch()
+	out := make([]int, len(vs))
+	for i, v := range vs {
+		sh := m.shards[m.owner(v)-1]
+		res, ok := sh.queryResults[qids[i]]
+		if !ok {
+			panic(fmt.Sprintf("amm: mate query for %d produced no result", v))
+		}
+		delete(sh.queryResults, qids[i])
+		out[i] = int(res)
+	}
+	return out
+}
+
+// MateTable reads the authoritative mates — driver-side oracle access for
+// validation only, not part of the protocol accounting. Use
+// MateOf/MateOfBatch for protocol queries.
 func (m *M) MateTable() []int {
 	out := make([]int, m.cfg.N)
 	for v := 0; v < m.cfg.N; v++ {

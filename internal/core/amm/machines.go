@@ -26,6 +26,7 @@ const (
 	aLvlUpd                    // owner -> owner: neighbor level mirror update
 	aProbe                     // scheduler -> owner: rise/shuffle probe
 	aProbeRep                  // owner -> scheduler
+	aMateQuery                 // external mate query at owner(v)
 )
 
 type amsg struct {
@@ -65,27 +66,29 @@ type job struct {
 }
 
 type shard struct {
-	id     int
-	mu     int
-	cfg    Config
-	levels int
-	verts  map[int32]*vstate
-	jobs   []job
-	rng    *rand.Rand
+	id           int
+	mu           int
+	cfg          Config
+	levels       int
+	verts        map[int32]*vstate
+	jobs         []job
+	rng          *rand.Rand
+	queryResults map[int64]int32 // mate answers, gathered driver-side
 }
 
 func newShard(id, mu int, cfg Config, levels int) *shard {
 	return &shard{
 		id: id, mu: mu, cfg: cfg, levels: levels,
-		verts: make(map[int32]*vstate),
-		rng:   rand.New(rand.NewSource(cfg.Seed + int64(id)*7919)),
+		verts:        make(map[int32]*vstate),
+		rng:          rand.New(rand.NewSource(cfg.Seed + int64(id)*7919)),
+		queryResults: make(map[int64]int32),
 	}
 }
 
 func (s *shard) owner(v int32) int { return 1 + int(v)%s.mu }
 
 func (s *shard) MemWords() int {
-	w := 0
+	w := 2 * len(s.queryResults)
 	for _, st := range s.verts {
 		w += 4 + 2*len(st.adj)
 	}
@@ -133,11 +136,15 @@ func (s *shard) lowThreshold(lvl int32) int32 {
 func (s *shard) HandleRound(ctx *mpc.Ctx, inbox []mpc.Message) {
 	report := amsg{Kind: aReport, Seq: 0}
 	dirty := false
+	sawProtocol := false
 
 	for _, raw := range inbox {
 		m, ok := raw.Payload.(amsg)
 		if !ok {
 			continue
+		}
+		if m.Kind != aMateQuery {
+			sawProtocol = true
 		}
 		switch m.Kind {
 		case aUpdate:
@@ -178,10 +185,23 @@ func (s *shard) HandleRound(ctx *mpc.Ctx, inbox []mpc.Message) {
 			}
 		case aProbe:
 			s.handleProbe(ctx, m)
+		case aMateQuery:
+			// Plain lookup: a read must not allocate authoritative state
+			// for a never-touched vertex (free vertices report -1 anyway).
+			mate := int32(-1)
+			if st, ok := s.verts[m.U]; ok {
+				mate = st.mate
+			}
+			s.queryResults[m.Seq] = mate
 		}
 	}
+	// Pure reads report nothing: queries mutate no state, and the
+	// scheduler already learned of pending jobs from the protocol round
+	// that queued them (and keeps them alive via aTickAck), so a
+	// query-only round re-reporting would leak read-triggered traffic
+	// into the next update window's accounting.
 	pending := len(s.jobs) > 0
-	if dirty || len(report.Freed) > 0 || len(report.Low) > 0 || pending {
+	if sawProtocol && (dirty || len(report.Freed) > 0 || len(report.Low) > 0 || pending) {
 		report.Pending = pending
 		report.U = int32(s.id)
 		ctx.Send(0, report, report.words())

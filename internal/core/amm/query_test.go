@@ -1,0 +1,104 @@
+package amm
+
+import (
+	"math/rand"
+	"testing"
+
+	"dmpc/internal/graph"
+)
+
+// TestMateQueries pins the §6 protocol query path: MateOf/Matched agree
+// with the MateTable validation oracle (matching state is authoritative at
+// the owners), a k-query batch costs one shared round, and query rounds are
+// charged to QueryStats windows only.
+func TestMateQueries(t *testing.T) {
+	const n = 40
+	rng := rand.New(rand.NewSource(9))
+	m := New(Config{N: n, Seed: 3})
+	for _, up := range graph.RandomStream(n, 150, 0.6, 1, rng) {
+		if up.Op == graph.Insert {
+			m.Insert(up.U, up.V)
+		} else {
+			m.Delete(up.U, up.V)
+		}
+	}
+	updatesBefore := len(m.Cluster().Stats().Updates())
+
+	vs := make([]int, n)
+	for v := range vs {
+		vs[v] = v
+	}
+	got := m.MateOfBatch(vs)
+	// Oracle read *after* the query: the query window settles any update
+	// traffic still in flight first, so the answers must match the settled
+	// state — and be symmetric as a whole.
+	oracle := m.MateTable()
+	for v := range vs {
+		if got[v] != oracle[v] {
+			t.Fatalf("MateOfBatch[%d] = %d, oracle %d", v, got[v], oracle[v])
+		}
+		if got[v] >= 0 && got[got[v]] != v {
+			t.Fatalf("asymmetric answers: MateOf(%d)=%d but MateOf(%d)=%d", v, got[v], got[v], got[got[v]])
+		}
+	}
+	qs := m.Cluster().Stats().Queries()
+	if len(qs) != 1 || qs[0].Queries != n || qs[0].Rounds != 1 {
+		t.Fatalf("query windows %+v, want one window of %d queries over 1 round", qs, n)
+	}
+
+	for _, v := range []int{0, 3, n - 1} {
+		if m.MateOf(v) != oracle[v] {
+			t.Fatalf("MateOf(%d) = %d, oracle %d", v, m.MateOf(v), oracle[v])
+		}
+		if oracle[v] >= 0 && !m.Matched(v, oracle[v]) {
+			t.Fatalf("Matched(%d,%d) = false for a matched pair", v, oracle[v])
+		}
+	}
+	if after := len(m.Cluster().Stats().Updates()); after != updatesBefore {
+		t.Fatalf("queries leaked into update accounting: %d -> %d windows", updatesBefore, after)
+	}
+}
+
+// TestQueryLeavesNoResidue pins the query-only-round rule: a mate query on
+// a shard that still holds pending level-notification jobs must not re-send
+// a scheduler report — the read costs its one round, leaves the cluster
+// quiescent, and the next update's accounting is identical to a query-free
+// run.
+func TestQueryLeavesNoResidue(t *testing.T) {
+	build := func(withQuery bool) *M {
+		m := New(Config{N: 32, Seed: 5})
+		// A star around vertex 0 whose degree exceeds Delta, then a delete
+		// of 0's matched edge: the level change queues more neighbor
+		// notifications than one Δ-bounded tick can drain, so 0's owner
+		// shard still holds pending jobs when the read arrives.
+		for v := 1; v <= m.cfg.Delta+4; v++ {
+			m.Insert(0, v)
+		}
+		m.Delete(0, 1)
+		// Settle any in-flight tail traffic so both runs start identically
+		// (jobs only drain on scheduler ticks, so they stay pending).
+		m.cluster.Run(64)
+		if withQuery {
+			m.MateOf(0)
+			qs := m.Cluster().Stats().Queries()
+			if last := qs[len(qs)-1]; last.Rounds != 1 {
+				t.Fatalf("query on a jobs-pending shard cost %d rounds, want 1", last.Rounds)
+			}
+			if !m.cluster.Quiescent() {
+				t.Fatal("read left traffic in flight for the next update window to absorb")
+			}
+		}
+		m.Insert(28, 29)
+		return m
+	}
+	quiet := build(false)
+	noisy := build(true)
+	uq := quiet.Cluster().Stats().Updates()
+	un := noisy.Cluster().Stats().Updates()
+	if len(uq) != len(un) {
+		t.Fatalf("update window counts differ: %d vs %d", len(un), len(uq))
+	}
+	if uq[len(uq)-1] != un[len(un)-1] {
+		t.Fatalf("post-query update accounting differs: %+v vs %+v", un[len(un)-1], uq[len(uq)-1])
+	}
+}

@@ -31,6 +31,12 @@ const (
 	cCtrGet  // MC -> stats: batched free-neighbor counter reads
 	cCtrRep  // stats -> MC
 	cCtrAdd  // MC -> stats: batched counter deltas (no reply)
+
+	// Query traffic: external mate query at the authoritative statistics
+	// machine, which records the answer for the driver to gather. Queries
+	// bypass MC entirely — the §3 query path needs one round, not the
+	// coordinator's serial pipeline.
+	cMateQuery
 )
 
 // hop describes one update-history entry. hMatched carries the heaviness

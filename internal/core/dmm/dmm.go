@@ -70,6 +70,7 @@ type M struct {
 	stats   []*statsMachine
 	storage []*storeMachine
 	seq     int64
+	queryID int64
 }
 
 // New builds an empty instance.
@@ -173,8 +174,57 @@ func (m *M) ApplyBatch(batch graph.Batch) mpc.BatchStats {
 	return m.cluster.EndBatch()
 }
 
+// MateOf answers "who is v matched to?" (-1 = free) through the cluster:
+// one round, one active statistics machine, O(1) words. The rounds are
+// charged to a QueryStats window, never to an update window.
+func (m *M) MateOf(v int) int {
+	return m.MateOfBatch([]int{v})[0]
+}
+
+// Matched reports whether edge (u,v) is in the maintained matching, as a
+// protocol query answered by u's statistics machine.
+func (m *M) Matched(u, v int) bool {
+	return m.MateOf(u) == v
+}
+
+// MateOfBatch answers k mate queries in one shared query window: all
+// queries are injected at their statistics machines in a single scatter
+// round and every machine records its answers in that same round, so the
+// batch costs one round total and the amortized cost is 1/k rounds per
+// query.
+func (m *M) MateOfBatch(vs []int) []int {
+	if len(vs) == 0 {
+		return nil
+	}
+	m.cluster.BeginQueryBatch(len(vs))
+	qids := make([]int64, len(vs))
+	for i, v := range vs {
+		m.queryID++
+		qids[i] = m.queryID
+		m.cluster.Send(mpc.Message{
+			From: -1, To: 1 + v/m.coord.statsPer,
+			Payload: cmsg{Kind: cMateQuery, V: int32(v), Seq: qids[i]},
+			Words:   3,
+		})
+	}
+	n := m.cluster.Drain(64, fmt.Sprintf("dmm: query batch of %d", len(vs)))
+	m.cluster.EndQueryBatch()
+	out := make([]int, len(vs))
+	for i, v := range vs {
+		sm := m.stats[v/m.coord.statsPer]
+		res, ok := sm.queryResults[qids[i]]
+		if !ok {
+			panic(fmt.Sprintf("dmm: mate query for %d produced no result after %d rounds", v, n))
+		}
+		delete(sm.queryResults, qids[i])
+		out[i] = int(res)
+	}
+	return out
+}
+
 // MateTable reads the authoritative mate table from the statistics
-// machines (driver-side oracle access; not counted).
+// machines — driver-side oracle access for validation only, not part of
+// the protocol accounting. Use MateOf/MateOfBatch for protocol queries.
 func (m *M) MateTable() []int {
 	out := make([]int, m.cfg.N)
 	for v := 0; v < m.cfg.N; v++ {

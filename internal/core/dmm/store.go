@@ -5,17 +5,22 @@ import "dmpc/internal/mpc"
 // statsMachine holds the authoritative per-vertex statistics for a
 // contiguous id range (the paper's O(n/√N) statistics machines).
 type statsMachine struct {
-	id    int
-	per   int
-	stats map[int32]*stat
+	id           int
+	per          int
+	stats        map[int32]*stat
+	queryResults map[int64]int32 // mate answers, gathered driver-side
 }
 
 func newStatsMachine(id, per int) *statsMachine {
-	return &statsMachine{id: id, per: per, stats: make(map[int32]*stat)}
+	return &statsMachine{
+		id: id, per: per,
+		stats:        make(map[int32]*stat),
+		queryResults: make(map[int64]int32),
+	}
 }
 
 func (s *statsMachine) MemWords() int {
-	w := 0
+	w := 2 * len(s.queryResults)
 	for _, st := range s.stats {
 		w += 6 + len(st.suspended)
 	}
@@ -65,6 +70,14 @@ func (s *statsMachine) HandleRound(ctx *mpc.Ctx, inbox []mpc.Message) {
 			for i, v := range m.Vs {
 				s.get(v).freeNbr += m.Ds[i]
 			}
+		case cMateQuery:
+			// Plain lookup: a read must not allocate authoritative state
+			// for a never-touched vertex (free vertices report -1 anyway).
+			mate := int32(-1)
+			if st, ok := s.stats[m.V]; ok {
+				mate = st.mate
+			}
+			s.queryResults[m.Seq] = mate
 		case cCtrGet:
 			reply := cmsg{Kind: cCtrRep, Seq: m.Seq, Vs: append([]int32(nil), m.Vs...)}
 			reply.Ds = make([]int32, len(m.Vs))

@@ -206,27 +206,84 @@ func (d *D) ApplyBatch(batch graph.Batch) mpc.BatchStats {
 }
 
 // Connected answers a connectivity query through the cluster (two rounds,
-// two active machines, O(1) words — the query path of §5).
+// two active machines, O(1) words — the query path of §5). Its rounds are
+// charged to a QueryStats window, never to an update window.
 func (d *D) Connected(u, v int) bool {
+	return d.ConnectedBatch([]graph.Pair{{U: u, V: v}})[0]
+}
+
+// ConnectedBatch answers k connectivity queries in one shared query window:
+// all queries are injected at their first endpoints' owners in a single
+// scatter round, forwarded, and answered at the second endpoints' owners in
+// a single gather round — so the whole batch costs the two rounds of one §5
+// query and the amortized cost is 2/k rounds per query, exactly how
+// ApplyBatch amortizes update rounds. Answers are positional: out[i]
+// answers pairs[i].
+func (d *D) ConnectedBatch(pairs []graph.Pair) []bool {
+	if len(pairs) == 0 {
+		return nil
+	}
+	d.cluster.BeginQueryBatch(len(pairs))
+	qids := make([]int64, len(pairs))
+	for i, p := range pairs {
+		d.queryID++
+		qids[i] = d.queryID
+		d.cluster.Send(mpc.Message{
+			From: -1, To: d.owner(p.U),
+			Payload: wire{Kind: kQuery, U: int32(p.U), V: int32(p.V), Seq: qids[i]},
+			Words:   4,
+		})
+	}
+	rounds := d.drainQueries(len(pairs))
+	d.cluster.EndQueryBatch()
+	out := make([]bool, len(pairs))
+	for i, p := range pairs {
+		sh := d.shards[d.owner(p.V)]
+		res, ok := sh.queryResults[qids[i]]
+		if !ok {
+			panic(fmt.Sprintf("dyncon: query (%d,%d) produced no result after %d rounds", p.U, p.V, rounds))
+		}
+		delete(sh.queryResults, qids[i])
+		out[i] = res
+	}
+	return out
+}
+
+// ComponentOf answers a component-label query through the cluster (one
+// round, one active machine, O(1) words): the owner of v records comp(v)
+// for the driver to gather. This is the protocol-accounted counterpart of
+// the CompOf validation oracle.
+func (d *D) ComponentOf(v int) int64 {
+	d.cluster.BeginQuery()
 	d.queryID++
 	qid := d.queryID
 	d.cluster.Send(mpc.Message{
-		From: -1, To: d.owner(u),
-		Payload: wire{Kind: kQuery, U: int32(u), V: int32(v), Seq: qid},
-		Words:   4,
+		From: -1, To: d.owner(v),
+		Payload: wire{Kind: kCompQuery, V: int32(v), Seq: qid},
+		Words:   3,
 	})
-	d.cluster.Run(8)
+	rounds := d.drainQueries(1)
+	d.cluster.EndQuery()
 	sh := d.shards[d.owner(v)]
-	res, ok := sh.queryResults[qid]
+	res, ok := sh.compResults[qid]
 	if !ok {
-		panic("dyncon: query result missing")
+		panic(fmt.Sprintf("dyncon: component query for %d produced no result after %d rounds", v, rounds))
 	}
-	delete(sh.queryResults, qid)
+	delete(sh.compResults, qid)
 	return res
 }
 
-// CompOf returns v's component label by inspecting the shard directly
-// (driver-side oracle access; not part of the protocol accounting).
+// drainQueries drives the cluster until quiescent under the standard
+// 64-round guard, reporting the round count. Queries normally settle in one
+// or two rounds; the slack covers update traffic still in flight when the
+// query was injected, which the query window then legitimately absorbs.
+func (d *D) drainQueries(k int) int {
+	return d.cluster.Drain(64, fmt.Sprintf("dyncon: query batch of %d", k))
+}
+
+// CompOf returns v's component label by inspecting the shard directly —
+// driver-side oracle access for validation only, not part of the protocol
+// accounting. Use ComponentOf for the protocol query.
 func (d *D) CompOf(v int) int64 {
 	return d.shards[d.owner(v)].verts[int32(v)]
 }

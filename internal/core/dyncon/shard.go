@@ -27,6 +27,7 @@ const (
 	kPathMaxRep              // machine -> orchestrator
 	kQuery                   // external connectivity query at owner(u)
 	kQueryFwd                // owner(u) -> owner(v)
+	kCompQuery               // external component query at owner(v)
 	kIntervalReq             // orchestrator -> record owner: child interval of a tree edge
 	kIntervalRep
 )
@@ -136,7 +137,8 @@ type shard struct {
 	tree         map[graph.Edge]*treeRec
 	nontree      map[graph.Edge]*ntRec
 	sizes        map[int64]int
-	queryResults map[int64]bool
+	queryResults map[int64]bool  // connectivity answers, gathered driver-side
+	compResults  map[int64]int64 // component answers, gathered driver-side
 	pend         map[int64]*pending
 	qcomp        map[int64]int64 // in-flight query: seq -> comp(u)
 }
@@ -149,6 +151,7 @@ func newShard(id, mu int, cfg Config) *shard {
 		nontree:      make(map[graph.Edge]*ntRec),
 		sizes:        make(map[int64]int),
 		queryResults: make(map[int64]bool),
+		compResults:  make(map[int64]int64),
 		pend:         make(map[int64]*pending),
 		qcomp:        make(map[int64]int64),
 	}
@@ -268,6 +271,8 @@ func (s *shard) HandleRound(ctx *mpc.Ctx, inbox []mpc.Message) {
 			}, 5)
 		case kQueryFwd:
 			s.queryResults[w.Seq] = s.verts[w.V] == w.Comp
+		case kCompQuery:
+			s.compResults[w.Seq] = s.verts[w.V]
 		case kIntervalReq:
 			s.onIntervalReq(ctx, w)
 		case kIntervalRep:

@@ -159,6 +159,42 @@ func (b BatchStats) RoundsPerUpdate() float64 {
 	return float64(b.Rounds) / float64(b.Updates)
 }
 
+// QueryStats aggregates the rounds spent answering one query — or one batch
+// of k queries sharing a single scatter/gather round window. Queries are a
+// first-class accounting class: their rounds never fold into an update or
+// batch window (the two window kinds are mutually exclusive), so
+// rounds-per-update figures stay comparable across read-free and read-heavy
+// workloads, and RoundsPerQuery reports the amortized §5 query cost.
+type QueryStats struct {
+	Queries   int // k, the number of queries covered by the window
+	Rounds    int
+	MaxActive int // max active machines over the window's rounds
+	SumActive int
+	MaxWords  int // max communicated words in any round of the window
+	SumWords  int
+}
+
+// Add folds a round into the query aggregate.
+func (q *QueryStats) Add(r RoundStats) {
+	q.Rounds++
+	q.SumActive += r.Active
+	q.SumWords += r.Words
+	if r.Active > q.MaxActive {
+		q.MaxActive = r.Active
+	}
+	if r.Words > q.MaxWords {
+		q.MaxWords = r.Words
+	}
+}
+
+// RoundsPerQuery returns the amortized rounds per query of the window.
+func (q QueryStats) RoundsPerQuery() float64 {
+	if q.Queries == 0 {
+		return 0
+	}
+	return float64(q.Rounds) / float64(q.Queries)
+}
+
 // Stats is the lifetime accounting of a cluster.
 type Stats struct {
 	Rounds        int
@@ -171,6 +207,8 @@ type Stats struct {
 	currentUpdate *UpdateStats
 	batches       []BatchStats
 	currentBatch  *BatchStats
+	queries       []QueryStats
+	currentQuery  *QueryStats
 }
 
 // Updates returns per-update statistics recorded between BeginUpdate and
@@ -187,6 +225,35 @@ func (s *Stats) Batches() []BatchStats {
 	out := make([]BatchStats, len(s.batches))
 	copy(out, s.batches)
 	return out
+}
+
+// Queries returns per-window query statistics recorded between
+// BeginQuery/BeginQueryBatch and EndQuery/EndQueryBatch calls. The returned
+// slice is owned by the caller.
+func (s *Stats) Queries() []QueryStats {
+	out := make([]QueryStats, len(s.queries))
+	copy(out, s.queries)
+	return out
+}
+
+// MeanQuery returns the amortized rounds per query, plus mean active
+// machines and words per round, over all recorded query windows.
+func (s *Stats) MeanQuery() (roundsPerQuery, activePerRound, wordsPerRound float64) {
+	var qs, r, a, w int
+	for _, q := range s.queries {
+		qs += q.Queries
+		r += q.Rounds
+		a += q.SumActive
+		w += q.SumWords
+	}
+	if qs > 0 {
+		roundsPerQuery = float64(r) / float64(qs)
+	}
+	if r > 0 {
+		activePerRound = float64(a) / float64(r)
+		wordsPerRound = float64(w) / float64(r)
+	}
+	return roundsPerQuery, activePerRound, wordsPerRound
 }
 
 // MeanBatch returns the amortized rounds per update, plus mean active
@@ -330,8 +397,13 @@ func (c *Cluster) Send(msg Message) {
 }
 
 // BeginUpdate starts per-update accounting; every subsequent round is folded
-// into the update until EndUpdate.
+// into the update until EndUpdate. Update and query windows are mutually
+// exclusive: opening one inside the other is a driver bug that would let
+// rounds leak across accounting classes, so it panics.
 func (c *Cluster) BeginUpdate() {
+	if c.stats.currentQuery != nil {
+		panic("mpc: BeginUpdate inside an open query window (update and query accounting are mutually exclusive)")
+	}
 	c.stats.currentUpdate = &UpdateStats{}
 }
 
@@ -349,8 +421,12 @@ func (c *Cluster) EndUpdate() UpdateStats {
 // BeginBatch starts batch accounting for k updates sharing one round
 // window; every subsequent round is folded into the batch until EndBatch.
 // Per-update accounting (BeginUpdate/EndUpdate) may nest inside a batch:
-// rounds then fold into both aggregates.
+// rounds then fold into both aggregates. Query windows may not: see
+// BeginQueryBatch.
 func (c *Cluster) BeginBatch(k int) {
+	if c.stats.currentQuery != nil {
+		panic("mpc: BeginBatch inside an open query window (update and query accounting are mutually exclusive)")
+	}
 	c.stats.currentBatch = &BatchStats{Updates: k}
 }
 
@@ -363,6 +439,41 @@ func (c *Cluster) EndBatch() BatchStats {
 	}
 	c.stats.batches = append(c.stats.batches, *b)
 	return *b
+}
+
+// BeginQuery starts query accounting for a single query; every subsequent
+// round is folded into the query window until EndQuery. See BeginQueryBatch
+// for the window-exclusivity rule.
+func (c *Cluster) BeginQuery() { c.BeginQueryBatch(1) }
+
+// EndQuery finishes a single-query window and records the aggregate.
+func (c *Cluster) EndQuery() QueryStats { return c.EndQueryBatch() }
+
+// BeginQueryBatch starts query accounting for k queries sharing one
+// scatter/gather round window; every subsequent round is folded into the
+// window until EndQueryBatch. Query windows are mutually exclusive with
+// update/batch windows: a query window opened while BeginUpdate/BeginBatch
+// accounting is live (or vice versa) would fold read rounds into
+// rounds-per-update figures, so it panics instead.
+func (c *Cluster) BeginQueryBatch(k int) {
+	if c.stats.currentUpdate != nil || c.stats.currentBatch != nil {
+		panic("mpc: BeginQueryBatch inside an open update/batch window (update and query accounting are mutually exclusive)")
+	}
+	if c.stats.currentQuery != nil {
+		panic("mpc: BeginQueryBatch inside an open query window (close it with EndQueryBatch first)")
+	}
+	c.stats.currentQuery = &QueryStats{Queries: k}
+}
+
+// EndQueryBatch finishes query accounting and records the aggregate.
+func (c *Cluster) EndQueryBatch() QueryStats {
+	q := c.stats.currentQuery
+	c.stats.currentQuery = nil
+	if q == nil {
+		return QueryStats{}
+	}
+	c.stats.queries = append(c.stats.queries, *q)
+	return *q
 }
 
 // Quiescent reports whether no machine has pending messages or scheduling,
@@ -474,6 +585,9 @@ func (c *Cluster) Round() RoundStats {
 	if c.stats.currentBatch != nil {
 		c.stats.currentBatch.Add(rs)
 	}
+	if c.stats.currentQuery != nil {
+		c.stats.currentQuery.Add(rs)
+	}
 	return rs
 }
 
@@ -484,6 +598,18 @@ func (c *Cluster) Run(maxRounds int) int {
 	for n < maxRounds && !c.Quiescent() {
 		c.Round()
 		n++
+	}
+	return n
+}
+
+// Drain executes rounds until the cluster is quiescent, panicking with the
+// caller's context string if maxRounds is exhausted first, and returns the
+// number of rounds executed. This is the standard run-to-quiescence guard
+// the query paths share instead of fixed round budgets.
+func (c *Cluster) Drain(maxRounds int, what string) int {
+	n := c.Run(maxRounds)
+	if !c.Quiescent() {
+		panic(fmt.Sprintf("%s did not quiesce within %d rounds", what, maxRounds))
 	}
 	return n
 }
