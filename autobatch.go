@@ -1,0 +1,254 @@
+package dmpc
+
+// AutoBatcher is the adaptive batch-sizing driver deferred by PR 1: it
+// feeds an update stream through an ApplyBatch function while growing or
+// shrinking the chunk size k online against the measured amortized rounds
+// per update, seeking the knee of the k-vs-rounds curve without the caller
+// having to pick k.
+//
+// Policy (deterministic, no randomness):
+//
+//   - Warm up first: the opening WarmupBatches full batches are applied
+//     but excluded from the search. A structure that starts empty processes
+//     its first updates unrepresentatively cheaply (every insert lands in a
+//     tiny component), and letting that transient set the baseline poisons
+//     every later comparison.
+//   - Probe upward: evaluate each k over a window of ProbeBatches full
+//     batches — the windowed amortized rounds/update is the measurement, so
+//     one unlucky batch cannot end the search — and double k as long as the
+//     window is not worse than the *best window seen so far* by more than
+//     Margin (relative). Amortized rounds are non-increasing in k by
+//     construction (more updates share each wave's rounds), but successive
+//     windows measure different stream segments of a drifting workload, so
+//     demanding a measured improvement per doubling would settle spuriously
+//     at the start; "not measurably worse than the best" tracks the true
+//     curve through segment noise.
+//   - Settle at the knee, on two strikes: a single bad window re-measures
+//     at the same k instead of ending the search; two consecutive windows
+//     worse than the best by more than Margin mark genuine saturation, and
+//     k steps back to the best-measured value and holds. MaxK bounds the
+//     search when the curve never worsens.
+//   - Respect the word cap: a batch whose MaxWords exceeds CapWords halves
+//     k immediately (mid-window, discarding the window), whatever the
+//     round trend said — wider waves mean more concurrent broadcasts per
+//     round, and the communication budget binds first. BatchStats.MaxWords
+//     counts cluster-wide words per round, so the natural setting is µ·S
+//     (Machines × MemWords), the model's aggregate per-round capacity.
+//   - Partial batches (a final Flush shorter than k) are applied and
+//     recorded but never drive adaptation: their amortized figure is not
+//     comparable against full batches.
+type AutoBatcher struct {
+	apply        func(Batch) BatchStats
+	capWords     int
+	minK         int
+	maxK         int
+	margin       float64
+	probeBatches int
+
+	k       int
+	dir     int     // +1 probing upward, 0 settled at the knee
+	bestK   int     // k of the best window so far, the settle target
+	bestA   float64 // best windowed amortized rounds/update (<0: none yet)
+	strikes int     // consecutive windows measurably worse than bestA
+	warmup  int     // full batches still to discard before the search starts
+
+	// accumulators of the in-progress probe window at the current k
+	winRounds, winUpdates, winBatches int
+
+	buf     []Update
+	history []BatchStats
+	ks      []int // chunk size used for each recorded batch
+}
+
+// AutoBatcherConfig configures NewAutoBatcher. Apply is required; zero
+// values elsewhere pick the documented defaults.
+type AutoBatcherConfig struct {
+	// Apply runs one batch and returns its shared-window accounting —
+	// typically the ApplyBatch method of a structure in this package.
+	Apply func(Batch) BatchStats
+	// CapWords is the cluster-wide per-round word budget (naturally µ·S);
+	// a batch observing MaxWords above it forces k to halve. 0 disables
+	// cap feedback.
+	CapWords int
+	// StartK (default 8) is the initial chunk size; MinK (default 1) and
+	// MaxK (default 1024) clamp the search.
+	StartK, MinK, MaxK int
+	// Margin (default 0.05) is the relative amortized-rounds worsening that
+	// counts as a strike: a window worse than the best seen by more than
+	// Margin re-measures, and two strikes in a row settle the search at the
+	// best-measured k.
+	Margin float64
+	// ProbeBatches (default 3) is how many full batches each k is measured
+	// over before the knee search judges it; larger windows smooth out
+	// batch-to-batch workload variance at the cost of a slower search.
+	ProbeBatches int
+	// WarmupBatches is how many opening full batches to apply without
+	// feeding the search (the empty-structure transient). 0 picks the
+	// default (ProbeBatches); negative disables the warmup.
+	WarmupBatches int
+}
+
+// NewAutoBatcher builds the driver. It panics if cfg.Apply is nil or the
+// clamps are inconsistent.
+func NewAutoBatcher(cfg AutoBatcherConfig) *AutoBatcher {
+	if cfg.Apply == nil {
+		panic("dmpc: AutoBatcher needs an Apply function")
+	}
+	ab := &AutoBatcher{
+		apply:        cfg.Apply,
+		capWords:     cfg.CapWords,
+		minK:         cfg.MinK,
+		maxK:         cfg.MaxK,
+		margin:       cfg.Margin,
+		probeBatches: cfg.ProbeBatches,
+		dir:          +1,
+		bestA:        -1,
+	}
+	if ab.minK < 1 {
+		ab.minK = 1
+	}
+	if ab.maxK < 1 {
+		ab.maxK = 1024
+	}
+	if ab.maxK < ab.minK {
+		panic("dmpc: AutoBatcher MaxK below MinK")
+	}
+	if ab.margin <= 0 {
+		ab.margin = 0.05
+	}
+	if ab.probeBatches < 1 {
+		ab.probeBatches = 3
+	}
+	ab.k = cfg.StartK
+	if ab.k < 1 {
+		ab.k = 8
+	}
+	ab.k = ab.clamp(ab.k)
+	ab.bestK = ab.k
+	ab.warmup = cfg.WarmupBatches
+	if ab.warmup == 0 {
+		ab.warmup = ab.probeBatches
+	}
+	if ab.warmup < 0 {
+		ab.warmup = 0
+	}
+	return ab
+}
+
+func (ab *AutoBatcher) clamp(k int) int {
+	if k < ab.minK {
+		return ab.minK
+	}
+	if k > ab.maxK {
+		return ab.maxK
+	}
+	return k
+}
+
+// K returns the chunk size the next batch will use.
+func (ab *AutoBatcher) K() int { return ab.k }
+
+// History returns the accounting of every batch applied so far, and Ks the
+// chunk size each of those batches was scheduled at.
+func (ab *AutoBatcher) History() []BatchStats { return ab.history }
+
+// Ks returns the chunk size used for each recorded batch, index-aligned
+// with History.
+func (ab *AutoBatcher) Ks() []int { return ab.ks }
+
+// Push buffers one update, applying a batch when the buffer reaches K. It
+// returns the batch's accounting and true when a batch was applied.
+func (ab *AutoBatcher) Push(up Update) (BatchStats, bool) {
+	ab.buf = append(ab.buf, up)
+	if len(ab.buf) < ab.k {
+		return BatchStats{}, false
+	}
+	return ab.flush(true), true
+}
+
+// Flush applies whatever the buffer holds. It reports false if the buffer
+// was empty. A flushed buffer is always a partial batch — Push applies the
+// batch the moment the buffer reaches K — so Flush never drives adaptation.
+func (ab *AutoBatcher) Flush() (BatchStats, bool) {
+	if len(ab.buf) == 0 {
+		return BatchStats{}, false
+	}
+	return ab.flush(false), true
+}
+
+// Run pushes the whole stream and flushes the tail, returning the
+// accounting of every batch applied.
+func (ab *AutoBatcher) Run(updates []Update) []BatchStats {
+	start := len(ab.history)
+	for _, up := range updates {
+		ab.Push(up)
+	}
+	ab.Flush()
+	return ab.history[start:]
+}
+
+func (ab *AutoBatcher) flush(full bool) BatchStats {
+	batch := Batch(append([]Update(nil), ab.buf...))
+	ab.buf = ab.buf[:0]
+	st := ab.apply(batch)
+	ab.history = append(ab.history, st)
+	ab.ks = append(ab.ks, ab.k)
+	if full {
+		ab.adapt(st)
+	}
+	return st
+}
+
+// adapt folds one full batch into the current probe window and, when the
+// window is complete, runs the knee-search step on the windowed amortized
+// rounds/update.
+func (ab *AutoBatcher) adapt(st BatchStats) {
+	if ab.capWords > 0 && st.MaxWords > ab.capWords {
+		// The S cap binds before the round curve does: back off
+		// immediately (discarding the in-progress window) and stop probing
+		// upward.
+		ab.k = ab.clamp(ab.k / 2)
+		ab.bestK = ab.k
+		ab.dir = 0
+		ab.winRounds, ab.winUpdates, ab.winBatches = 0, 0, 0
+		return
+	}
+	if ab.dir == 0 {
+		return // settled at the knee: nothing left to measure
+	}
+	if ab.warmup > 0 {
+		ab.warmup--
+		return // empty-structure transient: apply, don't measure
+	}
+	ab.winRounds += st.Rounds
+	ab.winUpdates += st.Updates
+	ab.winBatches++
+	if ab.winBatches < ab.probeBatches {
+		return // window still filling
+	}
+	a := float64(ab.winRounds) / float64(ab.winUpdates)
+	ab.winRounds, ab.winUpdates, ab.winBatches = 0, 0, 0
+	if ab.bestA < 0 || a <= ab.bestA*(1+ab.margin) {
+		// First window, or this k is not measurably worse than the best
+		// seen: record it if it is the new best, and keep growing unless
+		// the clamp already stops us (then settle where we are).
+		ab.strikes = 0
+		if ab.bestA < 0 || a < ab.bestA {
+			ab.bestA, ab.bestK = a, ab.k
+		}
+		if ab.k == ab.maxK {
+			ab.dir = 0
+			return
+		}
+		ab.k = ab.clamp(ab.k * 2)
+		return
+	}
+	// Measurably worse than the best window. One strike re-measures at the
+	// same k (segment noise); the second in a row is genuine saturation —
+	// settle at the best-measured k.
+	ab.strikes++
+	if ab.strikes >= 2 {
+		ab.k = ab.bestK
+		ab.dir = 0
+	}
+}

@@ -1,0 +1,207 @@
+package dmpc
+
+import (
+	"math/rand"
+	"testing"
+
+	"dmpc/internal/graph"
+)
+
+// fakeApply returns a scripted BatchStats per call, recording the batch
+// sizes it saw — a deterministic stand-in for an algorithm whose amortized
+// rounds/update follow a known curve.
+type fakeApply struct {
+	sizes []int
+	// roundsPerUpdate(k) models the amortized cost at chunk size k.
+	cost func(k int) float64
+	// maxWords(k) models the per-round word pressure at chunk size k.
+	words func(k int) int
+}
+
+func (f *fakeApply) apply(b Batch) BatchStats {
+	f.sizes = append(f.sizes, len(b))
+	k := len(b)
+	return BatchStats{
+		Updates:  k,
+		Rounds:   int(f.cost(k) * float64(k)),
+		MaxWords: f.words(k),
+	}
+}
+
+// TestAutoBatcherFindsKnee pins the probe-and-settle policy on a scripted
+// cost curve whose knee is at k=64: amortized rounds improve up to 64 and
+// get measurably worse beyond it (saturation overhead), so the driver must
+// grow 8→16→32→64, observe the worse window at 128, step back to 64 and
+// hold there. ProbeBatches is 1 so the scripted trajectory is exact;
+// window smoothing is pinned separately by
+// TestAutoBatcherWindowSmoothsNoise.
+func TestAutoBatcherFindsKnee(t *testing.T) {
+	f := &fakeApply{
+		cost: func(k int) float64 {
+			if k <= 64 {
+				return 64.0 / float64(k) // doubling k halves the cost up to the knee
+			}
+			return 1.4 // measurably worse beyond it
+		},
+		words: func(int) int { return 10 },
+	}
+	ab := NewAutoBatcher(AutoBatcherConfig{Apply: f.apply, StartK: 8, MaxK: 512, ProbeBatches: 1, WarmupBatches: -1})
+	for i := 0; i < 64*20; i++ {
+		ab.Push(Update{Op: Insert, U: i, V: i + 1})
+	}
+	ks := ab.Ks()
+	// 128 appears twice: the first bad window is a strike that re-measures,
+	// the second settles back to the best-measured k.
+	wantPrefix := []int{8, 16, 32, 64, 128, 128}
+	for i, w := range wantPrefix {
+		if i >= len(ks) || ks[i] != w {
+			t.Fatalf("probe trajectory %v, want prefix %v", ks, wantPrefix)
+		}
+	}
+	for i := len(wantPrefix); i < len(ks); i++ {
+		if ks[i] != 64 {
+			t.Fatalf("batch %d ran at k=%d after settling, want the knee 64 (trajectory %v)", i, ks[i], ks)
+		}
+	}
+	if ab.K() != 64 {
+		t.Fatalf("settled K() = %d, want 64", ab.K())
+	}
+}
+
+// TestAutoBatcherWindowSmoothsNoise pins why each k is judged on a window
+// of ProbeBatches batches rather than a single one: the first batch at
+// k=16 is scripted to be anomalously expensive (a workload spike, the
+// situation that used to settle the search prematurely), but the window
+// average stays within Margin of k=8's, so the probe must keep growing
+// past 16.
+func TestAutoBatcherWindowSmoothsNoise(t *testing.T) {
+	f := &fakeApply{}
+	f.cost = func(k int) float64 {
+		base := 64.0 / float64(k)
+		if k == 16 && f.sizes[len(f.sizes)-1] == 16 && callCount(f.sizes, 16) == 1 {
+			return base * 4 // one bad batch right after the doubling
+		}
+		return base
+	}
+	f.words = func(int) int { return 10 }
+	ab := NewAutoBatcher(AutoBatcherConfig{Apply: f.apply, StartK: 8, MaxK: 64, ProbeBatches: 3, WarmupBatches: -1})
+	for i := 0; i < 64*12; i++ {
+		ab.Push(Update{Op: Insert, U: i, V: i + 1})
+	}
+	reached32 := false
+	for _, k := range ab.Ks() {
+		if k >= 32 {
+			reached32 = true
+		}
+	}
+	if !reached32 {
+		t.Fatalf("one noisy batch at k=16 stopped the probe: trajectory %v", ab.Ks())
+	}
+}
+
+// callCount reports how many recorded batches ran at size k.
+func callCount(sizes []int, k int) int {
+	n := 0
+	for _, s := range sizes {
+		if s == k {
+			n++
+		}
+	}
+	return n
+}
+
+// TestAutoBatcherWordCapForcesShrink pins the S-cap feedback: when the
+// measured MaxWords exceeds CapWords the driver halves k immediately and
+// stops probing upward, whatever the round trend said.
+func TestAutoBatcherWordCapForcesShrink(t *testing.T) {
+	f := &fakeApply{
+		cost:  func(k int) float64 { return 64.0 / float64(k) }, // rounds always favor growth
+		words: func(k int) int { return 10 * k },                // but words grow with k
+	}
+	ab := NewAutoBatcher(AutoBatcherConfig{Apply: f.apply, StartK: 32, CapWords: 200})
+	for i := 0; i < 32*8; i++ {
+		ab.Push(Update{Op: Insert, U: i, V: i + 1})
+	}
+	// k=32 → 320 words > 200: halve to 16 and settle (160 words fits).
+	ks := ab.Ks()
+	if len(ks) < 3 || ks[0] != 32 || ks[1] != 16 {
+		t.Fatalf("cap trajectory %v, want 32 then 16", ks)
+	}
+	for i := 1; i < len(ks); i++ {
+		if ks[i] != 16 {
+			t.Fatalf("batch %d ran at k=%d, want 16 after the cap shrink (trajectory %v)", i, ks[i], ks)
+		}
+	}
+}
+
+// TestAutoBatcherPartialFlush pins that a short tail batch is applied and
+// recorded but never drives adaptation.
+func TestAutoBatcherPartialFlush(t *testing.T) {
+	f := &fakeApply{
+		cost:  func(k int) float64 { return 1000 }, // any full batch would stall the probe
+		words: func(int) int { return 1 },
+	}
+	ab := NewAutoBatcher(AutoBatcherConfig{Apply: f.apply, StartK: 8})
+	for i := 0; i < 3; i++ {
+		ab.Push(Update{Op: Insert, U: i, V: i + 1})
+	}
+	if _, ok := ab.Flush(); !ok {
+		t.Fatal("Flush dropped a partial batch")
+	}
+	if _, ok := ab.Flush(); ok {
+		t.Fatal("Flush applied an empty batch")
+	}
+	if got := ab.K(); got != 8 {
+		t.Fatalf("partial flush moved K to %d", got)
+	}
+	if len(f.sizes) != 1 || f.sizes[0] != 3 {
+		t.Fatalf("applied sizes %v, want [3]", f.sizes)
+	}
+}
+
+// TestAutoBatcherOnConnectivity drives the real §5 batch pipeline: the
+// driver must grow k away from its start, and its overall amortized
+// rounds/update must beat running every batch at the starting size.
+func TestAutoBatcherOnConnectivity(t *testing.T) {
+	const n = 96
+	stream := graph.RandomStream(n, 512, 0.55, 1, rand.New(rand.NewSource(5)))
+
+	cc := NewConnectivity(n, 5*n)
+	ab := NewAutoBatcher(AutoBatcherConfig{
+		Apply:    cc.ApplyBatch,
+		CapWords: cc.Cluster().Machines() * cc.Cluster().MemWords(),
+		StartK:   8,
+		MaxK:     256,
+	})
+	ab.Run(stream)
+	grew := false
+	for _, k := range ab.Ks() {
+		if k > 8 {
+			grew = true
+		}
+	}
+	if !grew {
+		t.Fatalf("AutoBatcher never grew k: trajectory %v", ab.Ks())
+	}
+	var rounds, upd int
+	for _, st := range ab.History() {
+		rounds += st.Rounds
+		upd += st.Updates
+	}
+	auto := float64(rounds) / float64(upd)
+
+	fixed := NewConnectivity(n, 5*n)
+	var fRounds, fUpd int
+	for _, b := range Chunk(stream, 8) {
+		st := fixed.ApplyBatch(b)
+		fRounds += st.Rounds
+		fUpd += st.Updates
+	}
+	fixed8 := float64(fRounds) / float64(fUpd)
+	if auto >= fixed8 {
+		t.Fatalf("adaptive amortized %.3f not better than fixed k=8 %.3f (trajectory %v)", auto, fixed8, ab.Ks())
+	}
+	if v := cc.Cluster().Stats().Violations; v != 0 {
+		t.Fatalf("%d cluster constraint violations under AutoBatcher", v)
+	}
+}

@@ -62,6 +62,9 @@ type (
 	Batch = graph.Batch
 	// BatchStats is the shared round-accounting window of one batch.
 	BatchStats = mpc.BatchStats
+	// WaveStats is one concurrent wave's slice of a batch window; the wave
+	// widths measure how much parallelism the batch scheduler extracted.
+	WaveStats = mpc.WaveStats
 	// Pair is one query's endpoints; a []Pair is the read-side analogue of
 	// a Batch.
 	Pair = graph.Pair

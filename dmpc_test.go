@@ -244,7 +244,7 @@ func TestQueryPipeline(t *testing.T) {
 		t.Fatalf("batch window counts differ: %d vs %d", len(got), len(want))
 	}
 	for i := range want {
-		if got[i] != want[i] {
+		if !got[i].Equal(want[i]) {
 			t.Fatalf("batch %d accounting differs with reads interleaved: %+v vs %+v", i, got[i], want[i])
 		}
 	}

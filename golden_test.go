@@ -1,0 +1,122 @@
+package dmpc
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dmpc/internal/graph"
+)
+
+var updateGolden = flag.Bool("update", false, "regenerate testdata golden files")
+
+// goldenReport is the serialized accounting of one workload: every batch
+// window (including per-wave attribution) and every query window, verbatim.
+type goldenReport struct {
+	Name    string
+	Batches []BatchStats
+	Queries []QueryStats
+}
+
+// goldenWorkloads runs a fixed seed/workload through every algorithm's
+// batch and query pipelines and returns the complete recorded accounting.
+// Any intentional scheduler change shows up as a diff against
+// testdata/golden_stats.json and is re-pinned with `go test -run Golden
+// -update .`; an unintentional one fails the table.
+func goldenWorkloads() []goldenReport {
+	const n = 48
+	stream := graph.RandomStream(n, 160, 0.55, 30, rand.New(rand.NewSource(77)))
+	pairs := graph.RandomPairs(n, 24, rand.New(rand.NewSource(78)))
+	verts := graph.RandomVerts(n, 24, rand.New(rand.NewSource(79)))
+	var out []goldenReport
+
+	cc := NewConnectivity(n, 5*n)
+	for _, b := range Chunk(stream, 16) {
+		cc.ApplyBatch(b)
+	}
+	cc.ConnectedBatch(pairs)
+	cc.ComponentOf(0)
+	out = append(out, goldenReport{
+		Name:    "dyncon-cc k=16 + ConnectedBatch(24) + ComponentOf",
+		Batches: cc.Cluster().Stats().Batches(),
+		Queries: cc.Cluster().Stats().Queries(),
+	})
+
+	mst := NewMST(n, 0.25, 5*n)
+	for _, b := range Chunk(stream, 16) {
+		mst.ApplyBatch(b)
+	}
+	mst.ConnectedBatch(pairs)
+	out = append(out, goldenReport{
+		Name:    "dyncon-mst eps=0.25 k=16 + ConnectedBatch(24)",
+		Batches: mst.Cluster().Stats().Batches(),
+		Queries: mst.Cluster().Stats().Queries(),
+	})
+
+	mm := NewMaximalMatching(n, len(stream))
+	for _, b := range Chunk(stream, 16) {
+		mm.ApplyBatch(b)
+	}
+	mm.MateOfBatch(verts)
+	out = append(out, goldenReport{
+		Name:    "dmm k=16 + MateOfBatch(24)",
+		Batches: mm.Cluster().Stats().Batches(),
+		Queries: mm.Cluster().Stats().Queries(),
+	})
+
+	am := NewAlmostMaximalMatching(n, 0.5, 7)
+	for _, b := range Chunk(stream, 16) {
+		am.ApplyBatch(b)
+	}
+	am.MateOfBatch(verts)
+	out = append(out, goldenReport{
+		Name:    "amm eps=0.5 seed=7 k=16 + MateOfBatch(24)",
+		Batches: am.Cluster().Stats().Batches(),
+		Queries: am.Cluster().Stats().Queries(),
+	})
+	return out
+}
+
+// TestGoldenStats pins the exact BatchStats/QueryStats accounting — rounds,
+// actives, words, and the per-wave breakdown — of a fixed seed/workload for
+// every algorithm, so a scheduler refactor cannot silently change round
+// accounting: any drift fails here and must be re-pinned explicitly with
+// -update, making the accounting change visible in review.
+func TestGoldenStats(t *testing.T) {
+	got, err := json.MarshalIndent(goldenWorkloads(), "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+	path := filepath.Join("testdata", "golden_stats.json")
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("regenerated %s (%d bytes)", path, len(got))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (regenerate with `go test -run Golden -update .`)", err)
+	}
+	if !bytes.Equal(got, want) {
+		// Point at the first diverging line to keep the failure readable.
+		gl, wl := bytes.Split(got, []byte("\n")), bytes.Split(want, []byte("\n"))
+		for i := 0; i < len(gl) && i < len(wl); i++ {
+			if !bytes.Equal(gl[i], wl[i]) {
+				t.Fatalf("round accounting drifted from %s at line %d:\n got: %s\nwant: %s\n(re-pin intentional changes with `go test -run Golden -update .`)",
+					path, i+1, gl[i], wl[i])
+			}
+		}
+		t.Fatalf("round accounting drifted from %s (length %d vs %d); re-pin intentional changes with `go test -run Golden -update .`",
+			path, len(got), len(want))
+	}
+}

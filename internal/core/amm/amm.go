@@ -185,6 +185,7 @@ func (m *M) ApplyBatch(batch graph.Batch) mpc.BatchStats {
 	rest := batch
 	for len(rest) > 0 {
 		k := rest.DisjointPrefix(0)
+		m.cluster.BeginWave(k)
 		for _, up := range rest[:k] {
 			m.seq++
 			m.cluster.Send(mpc.Message{
@@ -197,6 +198,7 @@ func (m *M) ApplyBatch(batch graph.Batch) mpc.BatchStats {
 		m.cluster.Round() // owners of U process, contact owners of V
 		m.cluster.Round() // owners of V process, reply / report
 		m.cluster.Round() // both-free commits land back at owners of U
+		m.cluster.EndWave()
 	}
 	// A backlog can legitimately persist (queued vertices whose pools are
 	// all exhausted re-queue; sequential mode leaves them waiting too), so

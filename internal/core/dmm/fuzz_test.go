@@ -1,0 +1,74 @@
+package dmm
+
+import (
+	"testing"
+
+	"dmpc/internal/graph"
+)
+
+// FuzzBatchEquivalence is the property-based equivalence harness for the §3
+// batch pipeline: any update sequence, any chunking, and the coordinator-
+// chained batch must produce the exact matching of sequential replay (dmm's
+// case analysis is deterministic, so equality is edge-for-edge). The raw
+// bytes decode through graph.FuzzStreamWellFormed: dmm's degree bookkeeping
+// assumes the standard well-formed stream contract (no duplicate inserts,
+// no deletes of absent edges — see the startInsert comment), so the decoder
+// enforces it while redirecting bogus deletes onto present edges to keep
+// delete coverage high.
+//
+// Run the full fuzzer with:
+//
+//	go test -run FuzzBatchEquivalence -fuzz FuzzBatchEquivalence ./internal/core/dmm
+func FuzzBatchEquivalence(f *testing.F) {
+	f.Add(byte(1), []byte("abcabdacd"))
+	f.Add(byte(5), []byte("0120340516273809"))
+	f.Add(byte(32), []byte("ABCABDABEACD!bcd!ace02460135"))
+	f.Fuzz(func(t *testing.T, sel byte, data []byte) {
+		const n = 20
+		if len(data) > 300 { // 100 updates keeps a fuzz iteration fast
+			data = data[:300]
+		}
+		stream := graph.FuzzStreamWellFormed(data, n, 1)
+		if len(stream) == 0 {
+			t.Skip()
+		}
+		k := 1 + int(sel)%len(stream)
+
+		// CapEdges must absorb any prefix of distinct concurrent edges the
+		// decoded stream can build (at most one per update).
+		capEdges := len(stream)
+		seqM := New(Config{N: n, CapEdges: capEdges})
+		g := graph.New(n)
+		for _, up := range stream {
+			if up.Op == graph.Insert {
+				seqM.Insert(up.U, up.V)
+			} else {
+				seqM.Delete(up.U, up.V)
+			}
+		}
+		batM := New(Config{N: n, CapEdges: capEdges})
+		for _, b := range graph.Chunk(stream, k) {
+			st := batM.ApplyBatch(b)
+			if st.Updates != len(b) {
+				t.Fatalf("batch stats cover %d updates, batch has %d", st.Updates, len(b))
+			}
+			b.Apply(g)
+		}
+
+		want, got := seqM.MateTable(), batM.MateTable()
+		for v := range want {
+			if want[v] != got[v] {
+				t.Fatalf("k=%d: mate of %d differs: %d vs %d", k, v, got[v], want[v])
+			}
+		}
+		if !graph.IsMaximalMatching(g, got) {
+			t.Fatalf("k=%d: batched matching not maximal over the final graph", k)
+		}
+		if err := batM.Validate(g); err != nil {
+			t.Fatalf("k=%d: invariants broken after batches: %v", k, err)
+		}
+		if v := batM.Cluster().Stats().Violations; v != 0 {
+			t.Fatalf("k=%d: %d cluster constraint violations", k, v)
+		}
+	})
+}

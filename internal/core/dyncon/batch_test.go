@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"dmpc/internal/graph"
+	"dmpc/internal/mpc"
 )
 
 func forestKey(d *D) []graph.WEdge {
@@ -89,6 +90,89 @@ func TestBatchEquivalence(t *testing.T) {
 				t.Fatalf("%s k=%d: %d cluster constraint violations", md.name, k, v)
 			}
 		}
+	}
+}
+
+// TestPrefixPackerEquivalence pins that the retained greedy-prefix packer
+// (the PR 1 baseline the conflict-graph scheduler is benchmarked against)
+// still produces the sequential forest and labeling.
+func TestPrefixPackerEquivalence(t *testing.T) {
+	const n = 40
+	rng := rand.New(rand.NewSource(19))
+	stream := graph.RandomStream(n, 200, 0.55, 40, rng)
+
+	seqD := New(Config{N: n, Mode: CC, ExpectedEdges: 200})
+	for _, up := range stream {
+		if up.Op == graph.Insert {
+			seqD.Insert(up.U, up.V, up.W)
+		} else {
+			seqD.Delete(up.U, up.V)
+		}
+	}
+	preD := New(Config{N: n, Mode: CC, ExpectedEdges: 200})
+	for _, b := range graph.Chunk(stream, 16) {
+		preD.ApplyBatchPrefix(b)
+	}
+	wantF, gotF := forestKey(seqD), forestKey(preD)
+	if len(wantF) != len(gotF) {
+		t.Fatalf("forest sizes differ: %d vs %d", len(gotF), len(wantF))
+	}
+	for i := range wantF {
+		if wantF[i] != gotF[i] {
+			t.Fatalf("forest edge %d differs: %v vs %v", i, gotF[i], wantF[i])
+		}
+	}
+	for v := 0; v < n; v++ {
+		if seqD.CompOf(v) != preD.CompOf(v) {
+			t.Fatalf("component of %d differs: %d vs %d", v, preD.CompOf(v), seqD.CompOf(v))
+		}
+	}
+}
+
+// TestConflictShardingBeatsPrefix pins the tentpole win: on a random
+// workload at k=64, the conflict-graph scheduler packs wider waves than the
+// greedy-prefix packer, so it spends strictly fewer rounds for the same
+// batch semantics — and records the per-wave attribution that proves it.
+func TestConflictShardingBeatsPrefix(t *testing.T) {
+	const n = 96
+	run := func(apply func(*D, graph.Batch) mpc.BatchStats) (rounds int, widths []int) {
+		rng := rand.New(rand.NewSource(3))
+		stream := graph.RandomStream(n, 256, 0.55, 1, rng)
+		d := New(Config{N: n, Mode: CC, ExpectedEdges: 5 * n})
+		for _, b := range graph.Chunk(stream, 64) {
+			st := apply(d, b)
+			covered := 0
+			for _, w := range st.Waves {
+				widths = append(widths, w.Updates)
+				covered += w.Updates
+			}
+			if covered != st.Updates {
+				t.Fatalf("waves cover %d updates, batch has %d", covered, st.Updates)
+			}
+			rounds += st.Rounds
+		}
+		return rounds, widths
+	}
+	prefRounds, prefWidths := run((*D).ApplyBatchPrefix)
+	shardRounds, shardWidths := run((*D).ApplyBatch)
+	if shardRounds >= prefRounds {
+		t.Fatalf("conflict sharding did not beat prefix packing: %d vs %d rounds", shardRounds, prefRounds)
+	}
+	if len(shardWidths) >= len(prefWidths) {
+		t.Fatalf("conflict sharding did not reduce wave count: %d vs %d waves", len(shardWidths), len(prefWidths))
+	}
+	maxW := func(ws []int) int {
+		m := 0
+		for _, w := range ws {
+			if w > m {
+				m = w
+			}
+		}
+		return m
+	}
+	if maxW(shardWidths) <= maxW(prefWidths) {
+		t.Fatalf("widest sharded wave %d not wider than widest prefix wave %d",
+			maxW(shardWidths), maxW(prefWidths))
 	}
 }
 

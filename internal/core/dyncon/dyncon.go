@@ -80,6 +80,11 @@ type D struct {
 	shards  []*shard
 	seq     int64 // update sequence number, for fresh component ids
 	queryID int64
+
+	// wavePerm, when set by a test, permutes the injection order of every
+	// scheduled wave in place — the hook behind the permutation-
+	// commutativity property test. Production code leaves it nil.
+	wavePerm func(wave []int)
 }
 
 // New builds the structure with an empty graph. Use Preprocess to load an
@@ -148,35 +153,117 @@ func (d *D) Delete(u, v int) mpc.UpdateStats {
 func (d *D) update(up graph.Update) mpc.UpdateStats {
 	d.seq++
 	d.cluster.BeginUpdate()
-	d.inject(up)
+	d.inject(up, d.seq)
 	if d.cluster.Run(64); !d.cluster.Quiescent() {
 		panic(fmt.Sprintf("dyncon: update %v did not quiesce in 64 rounds", up))
 	}
 	return d.cluster.EndUpdate()
 }
 
-func (d *D) inject(up graph.Update) {
+func (d *D) inject(up graph.Update, seq int64) {
 	d.cluster.Send(mpc.Message{
 		From: -1, To: d.owner(up.U),
 		Payload: wire{
 			Kind: kUpdate, U: int32(up.U), V: int32(up.V), W: int64(d.opWeight(up.W)),
-			Seq: d.seq, Flag: up.Op == graph.Delete,
+			Seq: seq, Flag: up.Op == graph.Delete,
 		},
 		Words: 6,
 	})
 }
 
 // ApplyBatch processes a batch of updates in one shared round-accounting
-// window. The batch is cut into waves: each wave is the longest prefix of
-// the remaining updates whose endpoint components are pairwise disjoint
-// (read driver-side before injection) and whose orchestrator machines are
-// distinct. Updates of a wave run concurrently through the §5 protocol —
-// the per-shard orchestration state is keyed by update sequence number and
-// every broadcast shift map is conditioned on component labels, so
-// component-disjoint updates touch disjoint records and commute exactly.
-// The final forest therefore equals sequential application, while a wave
-// of w updates costs the rounds of one update instead of w.
+// window using the conflict-graph wave scheduler: the conflict graph over
+// the *whole* remaining batch (updates conflict iff their endpoint
+// components intersect at schedule time, read driver-side) is precedence-
+// colored, and the first color class — every update with no earlier
+// conflicting update — runs as one component-disjoint concurrent wave
+// through the §5 protocol. Because executing a wave merges and splits
+// components, conflicts are recomputed from live component labels between
+// waves; later color classes are only a prediction (see graph.ConflictGraph).
+//
+// Correctness rests on two facts. Commutativity: the per-shard
+// orchestration state is keyed by update sequence number and every
+// broadcast shift map is conditioned on component labels, so updates whose
+// endpoint components are disjoint touch disjoint records and commute
+// exactly — a wave may even reorder a later update before an earlier
+// pending one, since the wave member conflicts with *no* earlier pending
+// update and its components are untouched by them. Order preservation: the
+// precedence coloring keeps every conflicting pair in batch order. The
+// final forest and labeling therefore equal sequential application, while
+// a wave of w updates costs the rounds of one update instead of w.
+//
+// Unlike the greedy-prefix packer (ApplyBatchPrefix, kept for comparison),
+// one early conflicting pair no longer caps the wave width: independent
+// updates from anywhere in the batch pack into the same wave.
 func (d *D) ApplyBatch(batch graph.Batch) mpc.BatchStats {
+	d.cluster.BeginBatch(len(batch))
+	// Sequence numbers are assigned by *batch position*, not injection
+	// order: fresh component ids minted by cuts are derived from the seq
+	// (N + 2·seq), so position-based seqs make the labels of a reordered
+	// schedule bit-identical to sequential replay.
+	base := d.seq
+	d.seq += int64(len(batch))
+	pending := make([]int, len(batch))
+	for i := range pending {
+		pending[i] = i
+	}
+	for len(pending) > 0 {
+		// Conflict keys: the two endpoint component labels (semantic
+		// conflicts — overlapping updates must stay ordered) plus the
+		// orchestrator machine, encoded in the negative key space (resource
+		// conflict — two broadcasts from one machine in one round would
+		// blow the per-round word cap S, not correctness). Only the first
+		// color class is ever executed before conflicts are recomputed, so
+		// the one-pass FirstWave form replaces the full graph build and
+		// coloring on this hot path (graph.ConflictGraph documents the
+		// equivalence).
+		wave := graph.FirstWave(len(pending), func(i int) []int64 {
+			up := batch[pending[i]]
+			return []int64{d.CompOf(up.U), d.CompOf(up.V), -int64(d.owner(up.U)) - 1}
+		})
+		d.runWave(batch, base, pending, wave)
+		// Drop the executed wave (ascending positions) from pending.
+		kept := pending[:0]
+		w := 0
+		for i, b := range pending {
+			if w < len(wave) && wave[w] == i {
+				w++
+				continue
+			}
+			kept = append(kept, b)
+		}
+		pending = kept
+	}
+	return d.cluster.EndBatch()
+}
+
+// runWave injects the scheduled wave (positions into pending) concurrently
+// and drives the cluster to quiescence inside a per-wave attribution
+// window. The test-only wavePerm hook permutes the injection order, backing
+// the permutation-commutativity property test.
+func (d *D) runWave(batch graph.Batch, base int64, pending, wave []int) {
+	order := wave
+	if d.wavePerm != nil {
+		order = append([]int(nil), wave...)
+		d.wavePerm(order)
+	}
+	d.cluster.BeginWave(len(wave))
+	for _, i := range order {
+		d.inject(batch[pending[i]], base+int64(pending[i])+1)
+	}
+	d.cluster.Drain(64, fmt.Sprintf("dyncon: batch wave of %d updates", len(wave)))
+	d.cluster.EndWave()
+}
+
+// ApplyBatchPrefix is the PR 1 greedy-prefix wave packer, retained as the
+// baseline the conflict-graph scheduler is benchmarked against (see
+// cmd/dmpcbench -shard and BENCH_0003.json): each wave is the longest
+// *prefix* of the remaining updates whose endpoint components are pairwise
+// disjoint and whose orchestrator machines are distinct, so one early
+// conflicting edge caps the wave width. Semantics are identical to
+// ApplyBatch; only the packing (and hence the amortized round count)
+// differs.
+func (d *D) ApplyBatchPrefix(batch graph.Batch) mpc.BatchStats {
 	d.cluster.BeginBatch(len(batch))
 	for i := 0; i < len(batch); {
 		touched := make(map[int64]bool, 8)
@@ -193,13 +280,13 @@ func (d *D) ApplyBatch(batch graph.Batch) mpc.BatchStats {
 			orch[o] = true
 			j++
 		}
+		d.cluster.BeginWave(j - i)
 		for _, up := range batch[i:j] {
 			d.seq++
-			d.inject(up)
+			d.inject(up, d.seq)
 		}
-		if d.cluster.Run(64); !d.cluster.Quiescent() {
-			panic(fmt.Sprintf("dyncon: batch wave of %d updates did not quiesce in 64 rounds", j-i))
-		}
+		d.cluster.Drain(64, fmt.Sprintf("dyncon: batch wave of %d updates", j-i))
+		d.cluster.EndWave()
 		i = j
 	}
 	return d.cluster.EndBatch()

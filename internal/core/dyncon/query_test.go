@@ -47,7 +47,7 @@ func TestQueryWindowRegression(t *testing.T) {
 		t.Fatalf("batch window count differs: %d vs %d", len(got), len(want))
 	}
 	for i := range want {
-		if got[i] != want[i] {
+		if !got[i].Equal(want[i]) {
 			t.Fatalf("batch %d stats differ with queries interleaved: %+v vs %+v", i, got[i], want[i])
 		}
 	}
@@ -78,7 +78,7 @@ func TestQueryWithInFlightUpdates(t *testing.T) {
 	// Inject an update without driving the cluster, as ApplyBatch's wave
 	// injection does, then query an unrelated pair while it is in flight.
 	d.seq++
-	d.inject(graph.Update{Op: graph.Insert, U: 4, V: 5, W: 1})
+	d.inject(graph.Update{Op: graph.Insert, U: 4, V: 5, W: 1}, d.seq)
 	if !d.Connected(0, 1) || d.Connected(0, 2) {
 		t.Fatal("query answered wrong while an update was in flight")
 	}

@@ -8,10 +8,19 @@ package graph
 type Batch []Update
 
 // Chunk splits a stream into consecutive batches of at most k updates,
-// preserving order. k <= 1 yields singleton batches (per-update semantics).
+// preserving order. k <= 1 yields singleton batches (per-update semantics);
+// k >= len(updates) yields the whole stream as one chunk. Any k is safe:
+// the capacity expression (len+k-1)/k used to overflow for k near MaxInt,
+// panicking in make, so k is clamped to the stream length first.
 func Chunk(updates []Update, k int) []Batch {
+	if len(updates) == 0 {
+		return nil
+	}
 	if k < 1 {
 		k = 1
+	}
+	if k > len(updates) {
+		k = len(updates)
 	}
 	out := make([]Batch, 0, (len(updates)+k-1)/k)
 	for len(updates) > 0 {

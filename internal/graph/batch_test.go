@@ -1,6 +1,7 @@
 package graph
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 )
@@ -38,6 +39,55 @@ func TestChunk(t *testing.T) {
 	}
 	if got := Chunk(nil, 4); len(got) != 0 {
 		t.Fatalf("empty stream should chunk to nothing, got %d batches", len(got))
+	}
+}
+
+// TestChunkBoundaries pins the edge cases of the k parameter around the
+// stream length: k=0 clamps to singletons, k=1 is singletons, k=len is one
+// full chunk, k=len+1 (and any larger k, up to MaxInt, which used to panic
+// via capacity overflow) still returns exactly one chunk holding the whole
+// stream — never a panic, never an empty result.
+func TestChunkBoundaries(t *testing.T) {
+	stream := []Update{
+		{Op: Insert, U: 0, V: 1, W: 1},
+		{Op: Insert, U: 1, V: 2, W: 1},
+		{Op: Delete, U: 0, V: 1},
+	}
+	n := len(stream)
+	cases := []struct {
+		k          int
+		wantChunks int
+	}{
+		{0, n},
+		{1, n},
+		{n, 1},
+		{n + 1, 1},
+		{1 << 40, 1},
+		{math.MaxInt, 1},
+		{-5, n},
+	}
+	for _, tc := range cases {
+		got := Chunk(stream, tc.k)
+		if len(got) != tc.wantChunks {
+			t.Fatalf("k=%d: %d chunks, want %d", tc.k, len(got), tc.wantChunks)
+		}
+		var flat []Update
+		for _, b := range got {
+			flat = append(flat, b...)
+		}
+		if len(flat) != n {
+			t.Fatalf("k=%d: chunking kept %d of %d updates", tc.k, len(flat), n)
+		}
+		for i := range flat {
+			if flat[i] != stream[i] {
+				t.Fatalf("k=%d: update %d reordered", tc.k, i)
+			}
+		}
+	}
+	for _, k := range []int{0, 1, math.MaxInt} {
+		if got := Chunk(nil, k); got != nil {
+			t.Fatalf("k=%d: empty stream should chunk to nil, got %v", k, got)
+		}
 	}
 }
 

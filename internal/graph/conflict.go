@@ -1,0 +1,158 @@
+package graph
+
+// Cross-batch conflict sharding (Nowicki–Onak, arXiv:2002.07800 §3).
+//
+// A batch-dynamic algorithm that can only run *prefixes* of a batch
+// concurrently is capped by the first conflicting pair it meets. Reordering
+// independent updates across the whole batch recovers near-full
+// parallelism, provided the reordering is sound: two updates that conflict
+// (their endpoint components intersect at schedule time) must keep their
+// original relative order, while non-conflicting updates commute exactly
+// and may run in the same concurrent wave.
+//
+// ConflictGraph captures the conflict relation over one batch and
+// PrecedenceColor computes the order-preserving greedy coloring whose color
+// classes are exactly the executable waves: an update's color is one more
+// than the maximum color among its *earlier* conflicting neighbors (zero if
+// it has none), so for every conflicting pair i < j, color(i) < color(j)
+// and executing classes in color order replays conflicting updates in batch
+// order. Each class is an independent set — two same-colored updates can
+// never conflict — so a class runs as one component-disjoint wave.
+//
+// The coloring is valid for the component structure it was built against.
+// Executing a wave merges and splits components, which can create conflicts
+// between updates that were independent at schedule time, so a scheduler
+// must rebuild the conflict graph between waves (take class 0, execute,
+// recompute); the later classes of any single coloring are a lower-bound
+// prediction of the schedule, not a commitment.
+
+// ConflictGraph is the conflict relation over the updates of one batch:
+// vertices are batch indices 0..n-1 and an edge joins two updates that may
+// not run concurrently. Build one with BuildConflict.
+type ConflictGraph struct {
+	n   int
+	adj [][]int // adjacency lists; neighbor order is unspecified
+}
+
+// BuildConflict builds the conflict graph over n updates from their
+// resource keys: keys(i) returns the identifiers of the resources update i
+// touches at schedule time (for dyncon, the component labels of its two
+// endpoints), and updates conflict iff their key sets intersect. Keys are
+// grouped rather than compared pairwise, so construction is near-linear in
+// the total key count for sparse conflicts.
+func BuildConflict(n int, keys func(i int) []int64) *ConflictGraph {
+	cg := &ConflictGraph{n: n, adj: make([][]int, n)}
+	byKey := make(map[int64][]int)
+	for i := 0; i < n; i++ {
+		seen := make(map[int64]bool, 4)
+		for _, k := range keys(i) {
+			if seen[k] {
+				continue // an update may name one resource twice (u,v in the same component)
+			}
+			seen[k] = true
+			byKey[k] = append(byKey[k], i)
+		}
+	}
+	// Updates sharing a key form a clique; a pair sharing several keys gets
+	// one edge. Group members are appended in ascending index order, so
+	// pair{a,b} always has a < b.
+	type pair struct{ a, b int }
+	linked := make(map[pair]bool)
+	for _, group := range byKey {
+		for x := 0; x < len(group); x++ {
+			for y := x + 1; y < len(group); y++ {
+				p := pair{group[x], group[y]}
+				if linked[p] {
+					continue
+				}
+				linked[p] = true
+				cg.adj[p.a] = append(cg.adj[p.a], p.b)
+				cg.adj[p.b] = append(cg.adj[p.b], p.a)
+			}
+		}
+	}
+	return cg
+}
+
+// N returns the number of updates the graph was built over.
+func (cg *ConflictGraph) N() int { return cg.n }
+
+// Conflicts reports whether updates i and j conflict.
+func (cg *ConflictGraph) Conflicts(i, j int) bool {
+	for _, k := range cg.adj[i] {
+		if k == j {
+			return true
+		}
+	}
+	return false
+}
+
+// PrecedenceColor greedily colors the conflict graph in batch order:
+// color(i) = 1 + max color of i's earlier conflicting neighbors, or 0 if it
+// has none. The coloring is proper (conflicting updates never share a
+// color) and order-preserving (for a conflicting pair i < j, color(i) <
+// color(j)), so color classes executed in order replay every conflicting
+// pair in batch order.
+func (cg *ConflictGraph) PrecedenceColor() []int {
+	colors := make([]int, cg.n)
+	for i := 0; i < cg.n; i++ {
+		c := 0
+		for _, j := range cg.adj[i] {
+			if j < i && colors[j]+1 > c {
+				c = colors[j] + 1
+			}
+		}
+		colors[i] = c
+	}
+	return colors
+}
+
+// FirstWave computes the first precedence color class directly — the
+// updates with no earlier conflicting update — in one pass over the keys,
+// without materializing the conflict graph: an update joins the wave iff
+// none of its keys were claimed by any earlier update, and every update
+// claims its keys whether it joined or not. Equivalent to
+// BuildConflict(n, keys).Waves()[0] (pinned by TestFirstWaveEquivalence); a
+// scheduler that recomputes conflicts between waves only ever consumes the
+// first class, so its hot path uses this O(total keys) form instead of the
+// O(clique) graph build.
+func FirstWave(n int, keys func(i int) []int64) []int {
+	claimed := make(map[int64]bool, 2*n)
+	var wave []int
+	for i := 0; i < n; i++ {
+		ks := keys(i)
+		free := true
+		for _, k := range ks {
+			if claimed[k] {
+				free = false
+				break
+			}
+		}
+		if free {
+			wave = append(wave, i)
+		}
+		for _, k := range ks {
+			claimed[k] = true
+		}
+	}
+	return wave
+}
+
+// Waves groups the updates by precedence color, in color order; within a
+// wave, updates keep ascending batch order. waves[0] is the set of updates
+// with no earlier conflicting update — the one class that is always safe to
+// execute against the component structure the graph was built from.
+func (cg *ConflictGraph) Waves() [][]int {
+	colors := cg.PrecedenceColor()
+	max := -1
+	for _, c := range colors {
+		if c > max {
+			max = c
+		}
+	}
+	waves := make([][]int, max+1)
+	for i, c := range colors {
+		waves[c] = append(waves[c], i)
+	}
+	return waves
+}

@@ -1,0 +1,173 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestBuildConflict pins the conflict relation: updates conflict iff their
+// key sets intersect, repeated keys within one update are harmless, and the
+// relation is irreflexive and symmetric.
+func TestBuildConflict(t *testing.T) {
+	keys := [][]int64{
+		{1, 2},
+		{3, 4},
+		{2, 3},
+		{5, 5}, // same resource named twice: no self-conflict
+		{5, 6},
+	}
+	cg := BuildConflict(len(keys), func(i int) []int64 { return keys[i] })
+	want := map[[2]int]bool{
+		{0, 2}: true, // share 2
+		{1, 2}: true, // share 3
+		{3, 4}: true, // share 5
+	}
+	for i := 0; i < cg.N(); i++ {
+		if cg.Conflicts(i, i) {
+			t.Fatalf("update %d conflicts with itself", i)
+		}
+		for j := i + 1; j < cg.N(); j++ {
+			got := cg.Conflicts(i, j)
+			if got != want[[2]int{i, j}] {
+				t.Fatalf("Conflicts(%d,%d) = %v, want %v", i, j, got, want[[2]int{i, j}])
+			}
+			if got != cg.Conflicts(j, i) {
+				t.Fatalf("Conflicts(%d,%d) not symmetric", i, j)
+			}
+		}
+	}
+}
+
+// TestPrecedenceColorProperties pins the two scheduler obligations on
+// random conflict graphs: the coloring is proper (no conflicting pair
+// shares a color) and order-preserving (for conflicting i < j, color(i) <
+// color(j), so executing color classes in order replays every conflicting
+// pair in batch order).
+func TestPrecedenceColorProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(40)
+		nkeys := 1 + rng.Intn(12)
+		keys := make([][]int64, n)
+		for i := range keys {
+			keys[i] = []int64{int64(rng.Intn(nkeys)), int64(rng.Intn(nkeys))}
+		}
+		cg := BuildConflict(n, func(i int) []int64 { return keys[i] })
+		colors := cg.PrecedenceColor()
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if !cg.Conflicts(i, j) {
+					continue
+				}
+				if colors[i] >= colors[j] {
+					t.Fatalf("trial %d: conflicting pair (%d,%d) has colors (%d,%d); want color(i) < color(j)",
+						trial, i, j, colors[i], colors[j])
+				}
+			}
+		}
+		// Tightness: every color c > 0 is forced by an earlier neighbor of
+		// color c-1 (the greedy rule takes the minimum feasible color).
+		for j, c := range colors {
+			if c == 0 {
+				continue
+			}
+			forced := false
+			for i := 0; i < j; i++ {
+				if colors[i] == c-1 && cg.Conflicts(i, j) {
+					forced = true
+					break
+				}
+			}
+			if !forced {
+				t.Fatalf("trial %d: update %d has color %d with no earlier conflicting neighbor of color %d",
+					trial, j, c, c-1)
+			}
+		}
+	}
+}
+
+// TestFirstWaveEquivalence pins that the one-pass scheduler hot path
+// computes exactly the first precedence color class of the materialized
+// conflict graph, across random key sets including empty key lists.
+func TestFirstWaveEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(40)
+		keys := make([][]int64, n)
+		for i := range keys {
+			nk := rng.Intn(4) // 0..3 keys, duplicates allowed
+			for j := 0; j < nk; j++ {
+				keys[i] = append(keys[i], int64(rng.Intn(10)))
+			}
+		}
+		kf := func(i int) []int64 { return keys[i] }
+		want := BuildConflict(n, kf).Waves()[0]
+		got := FirstWave(n, kf)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: FirstWave %v, Waves()[0] %v", trial, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: FirstWave %v, Waves()[0] %v", trial, got, want)
+			}
+		}
+	}
+}
+
+// TestWaves pins the wave grouping: waves partition the batch, each wave is
+// an independent set listed in ascending batch order, and waves[0] is
+// exactly the set of updates with no earlier conflicting update.
+func TestWaves(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(30)
+		keys := make([][]int64, n)
+		for i := range keys {
+			keys[i] = []int64{int64(rng.Intn(8)), int64(rng.Intn(8))}
+		}
+		cg := BuildConflict(n, func(i int) []int64 { return keys[i] })
+		waves := cg.Waves()
+		seen := make([]bool, n)
+		for w, wave := range waves {
+			if len(wave) == 0 {
+				t.Fatalf("trial %d: empty wave %d", trial, w)
+			}
+			for x := 0; x < len(wave); x++ {
+				if seen[wave[x]] {
+					t.Fatalf("trial %d: update %d in two waves", trial, wave[x])
+				}
+				seen[wave[x]] = true
+				if x > 0 && wave[x-1] >= wave[x] {
+					t.Fatalf("trial %d: wave %d not in ascending batch order: %v", trial, w, wave)
+				}
+				for y := x + 1; y < len(wave); y++ {
+					if cg.Conflicts(wave[x], wave[y]) {
+						t.Fatalf("trial %d: wave %d contains conflicting pair (%d,%d)",
+							trial, w, wave[x], wave[y])
+					}
+				}
+			}
+		}
+		for i, s := range seen {
+			if !s {
+				t.Fatalf("trial %d: update %d in no wave", trial, i)
+			}
+		}
+		inFirst := make(map[int]bool, len(waves[0]))
+		for _, i := range waves[0] {
+			inFirst[i] = true
+		}
+		for j := 0; j < n; j++ {
+			free := true
+			for i := 0; i < j; i++ {
+				if cg.Conflicts(i, j) {
+					free = false
+					break
+				}
+			}
+			if free != inFirst[j] {
+				t.Fatalf("trial %d: update %d conflict-free=%v but in waves[0]=%v", trial, j, free, inFirst[j])
+			}
+		}
+	}
+}

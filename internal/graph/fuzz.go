@@ -1,0 +1,80 @@
+package graph
+
+// FuzzStream deterministically decodes raw fuzzer bytes into an update
+// sequence on n vertices — the shared front-end of the FuzzBatchEquivalence
+// harnesses. Every byte string decodes to a legal sequence: three bytes per
+// update (op/weight selector, two endpoints), a would-be self-loop bumps
+// its second endpoint, and the decoder does NOT filter semantically
+// redundant operations — duplicate inserts and deletes of absent edges stay
+// in the stream on purpose, because dyncon must agree with sequential
+// replay on no-ops exactly as it does on effective updates. Algorithms
+// whose stream contract requires well-formedness (dmm, amm) decode through
+// FuzzStreamWellFormed instead.
+func FuzzStream(data []byte, n int, maxW Weight) []Update {
+	if n < 2 {
+		return nil
+	}
+	ups := make([]Update, 0, len(data)/3)
+	for i := 0; i+2 < len(data); i += 3 {
+		sel, b1, b2 := data[i], data[i+1], data[i+2]
+		u := int(b1) % n
+		v := int(b2) % n
+		if u == v {
+			v = (v + 1) % n
+		}
+		if sel&1 == 0 {
+			w := Weight(1)
+			if maxW > 1 {
+				w = 1 + Weight(sel>>1)%maxW
+			}
+			ups = append(ups, Update{Op: Insert, U: u, V: v, W: w})
+		} else {
+			ups = append(ups, Update{Op: Delete, U: u, V: v})
+		}
+	}
+	return ups
+}
+
+// FuzzStreamWellFormed decodes like FuzzStream but keeps the sequence
+// well-formed — no duplicate inserts, no deletes of absent edges — which is
+// the standard dynamic-algorithm stream contract that dmm's and amm's
+// degree bookkeeping relies on (see the startInsert comment in dmm). To
+// preserve delete coverage, a delete whose decoded target is absent falls
+// back to deleting a deterministically chosen present edge instead of being
+// dropped; duplicate inserts are dropped (there is no canonical fallback
+// edge to insert).
+func FuzzStreamWellFormed(data []byte, n int, maxW Weight) []Update {
+	raw := FuzzStream(data, n, maxW)
+	g := New(n)
+	var present []Edge
+	pos := make(map[Edge]int)
+	ups := make([]Update, 0, len(raw))
+	for _, up := range raw {
+		e := NormEdge(up.U, up.V)
+		if up.Op == Insert {
+			if g.Has(e.U, e.V) {
+				continue
+			}
+			g.Insert(e.U, e.V, up.W)
+			pos[e] = len(present)
+			present = append(present, e)
+			ups = append(ups, up)
+			continue
+		}
+		if !g.Has(e.U, e.V) {
+			if len(present) == 0 {
+				continue
+			}
+			e = present[(e.U+e.V)%len(present)]
+		}
+		last := len(present) - 1
+		i := pos[e]
+		present[i] = present[last]
+		pos[present[i]] = i
+		present = present[:last]
+		delete(pos, e)
+		g.Delete(e.U, e.V)
+		ups = append(ups, Update{Op: Delete, U: e.U, V: e.V})
+	}
+	return ups
+}

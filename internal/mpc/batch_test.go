@@ -45,7 +45,7 @@ func TestBatchAccounting(t *testing.T) {
 	}
 
 	batches := c.Stats().Batches()
-	if len(batches) != 1 || batches[0] != b {
+	if len(batches) != 1 || !batches[0].Equal(b) {
 		t.Fatalf("recorded batches %+v, want [%+v]", batches, b)
 	}
 	rpu, act, words := c.Stats().MeanBatch()
@@ -60,7 +60,66 @@ func TestBatchAccounting(t *testing.T) {
 		t.Fatal("rounds outside the batch window leaked into the aggregate")
 	}
 
-	if z := c.EndBatch(); z != (BatchStats{}) {
+	if z := c.EndBatch(); !z.Equal(BatchStats{}) {
 		t.Fatalf("EndBatch without BeginBatch = %+v", z)
 	}
+}
+
+// TestWaveAccounting pins the per-wave attribution inside a batch window:
+// rounds fold into the open wave and the batch simultaneously, scheduling
+// rounds outside waves belong to the batch only, and the wave discipline
+// (waves only inside batches, never nested, closed before EndBatch) is
+// enforced by panics.
+func TestWaveAccounting(t *testing.T) {
+	c := NewCluster(Config{Machines: 4, MemWords: 64})
+	for i := 0; i < 4; i++ {
+		c.SetMachine(i, bounceMachine{})
+	}
+
+	c.BeginBatch(5)
+	c.BeginWave(3)
+	c.Send(Message{From: -1, To: 0, Payload: "ping", Words: 1})
+	c.Run(8)
+	w1 := c.EndWave()
+	c.Send(Message{From: -1, To: 1, Payload: "ping", Words: 1}) // scheduling traffic outside any wave
+	c.Run(8)
+	c.BeginWave(2)
+	c.Send(Message{From: -1, To: 2, Payload: "ping", Words: 1})
+	c.Run(8)
+	c.EndWave()
+	b := c.EndBatch()
+
+	if len(b.Waves) != 2 {
+		t.Fatalf("batch recorded %d waves, want 2", len(b.Waves))
+	}
+	if b.Waves[0] != w1 {
+		t.Fatalf("EndWave returned %+v, batch recorded %+v", w1, b.Waves[0])
+	}
+	if b.Waves[0].Updates != 3 || b.Waves[1].Updates != 2 {
+		t.Fatalf("wave widths (%d,%d), want (3,2)", b.Waves[0].Updates, b.Waves[1].Updates)
+	}
+	if b.Waves[0].Rounds == 0 || b.Waves[1].Rounds == 0 {
+		t.Fatalf("wave rounds empty: %+v", b.Waves)
+	}
+	if sum := b.Waves[0].Rounds + b.Waves[1].Rounds; sum >= b.Rounds {
+		t.Fatalf("wave rounds %d should undercount batch rounds %d (scheduling rounds are batch-only)", sum, b.Rounds)
+	}
+
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("BeginWave outside batch", func() { c.BeginWave(1) })
+	c.BeginBatch(1)
+	c.BeginWave(1)
+	mustPanic("nested BeginWave", func() { c.BeginWave(1) })
+	mustPanic("EndBatch with open wave", func() { c.EndBatch() })
+	c.EndWave()
+	mustPanic("EndWave without wave", func() { c.EndWave() })
+	c.EndBatch()
 }

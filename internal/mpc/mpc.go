@@ -124,11 +124,24 @@ func (u *UpdateStats) Add(r RoundStats) {
 	}
 }
 
+// WaveStats attributes a slice of a batch window to one concurrent wave: a
+// set of updates the algorithm executed simultaneously because they were
+// pairwise conflict-free at schedule time. Wave widths are the direct
+// measure of how much parallelism the batch scheduler extracted — a batch
+// whose waves are all width 1 degenerates to sequential replay.
+type WaveStats struct {
+	Updates int // wave width: updates executed concurrently in this wave
+	Rounds  int // rounds attributed to this wave
+}
+
 // BatchStats aggregates the rounds spent processing one batch of k dynamic
 // updates that share a single round-accounting window. Where UpdateStats
 // charges every update its own rounds, a batch charges the whole window
 // once, so RoundsPerUpdate reports the amortized cost the batch-dynamic
-// model (Nowicki–Onak, arXiv:2002.07800) optimizes for.
+// model (Nowicki–Onak, arXiv:2002.07800) optimizes for. Waves, when the
+// algorithm declares them via BeginWave/EndWave, break the window down per
+// concurrent wave; scheduling rounds outside any wave belong to the batch
+// only.
 type BatchStats struct {
 	Updates   int // k, the number of updates covered by the window
 	Rounds    int
@@ -136,6 +149,7 @@ type BatchStats struct {
 	SumActive int
 	MaxWords  int // max communicated words in any round of the batch
 	SumWords  int
+	Waves     []WaveStats // per-wave attribution, in execution order
 }
 
 // Add folds a round into the batch aggregate.
@@ -149,6 +163,23 @@ func (b *BatchStats) Add(r RoundStats) {
 	if r.Words > b.MaxWords {
 		b.MaxWords = r.Words
 	}
+}
+
+// Equal reports deep equality, including the per-wave attribution.
+// (BatchStats holds a slice, so == no longer compiles.)
+func (b BatchStats) Equal(o BatchStats) bool {
+	if b.Updates != o.Updates || b.Rounds != o.Rounds ||
+		b.MaxActive != o.MaxActive || b.SumActive != o.SumActive ||
+		b.MaxWords != o.MaxWords || b.SumWords != o.SumWords ||
+		len(b.Waves) != len(o.Waves) {
+		return false
+	}
+	for i := range b.Waves {
+		if b.Waves[i] != o.Waves[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // RoundsPerUpdate returns the amortized rounds per update of the batch.
@@ -207,6 +238,7 @@ type Stats struct {
 	currentUpdate *UpdateStats
 	batches       []BatchStats
 	currentBatch  *BatchStats
+	currentWave   *WaveStats
 	queries       []QueryStats
 	currentQuery  *QueryStats
 }
@@ -430,8 +462,12 @@ func (c *Cluster) BeginBatch(k int) {
 	c.stats.currentBatch = &BatchStats{Updates: k}
 }
 
-// EndBatch finishes batch accounting and records the aggregate.
+// EndBatch finishes batch accounting and records the aggregate. An open
+// wave is a driver bug (its rounds would be misattributed), so it panics.
 func (c *Cluster) EndBatch() BatchStats {
+	if c.stats.currentWave != nil {
+		panic("mpc: EndBatch with an open wave (close it with EndWave first)")
+	}
 	b := c.stats.currentBatch
 	c.stats.currentBatch = nil
 	if b == nil {
@@ -439,6 +475,31 @@ func (c *Cluster) EndBatch() BatchStats {
 	}
 	c.stats.batches = append(c.stats.batches, *b)
 	return *b
+}
+
+// BeginWave starts per-wave attribution inside an open batch window: the
+// algorithm declares that the next rounds execute k conflict-free updates
+// concurrently. Rounds fold into both the wave and the batch until EndWave.
+// Waves only exist inside batches and never nest.
+func (c *Cluster) BeginWave(k int) {
+	if c.stats.currentBatch == nil {
+		panic("mpc: BeginWave outside a batch window")
+	}
+	if c.stats.currentWave != nil {
+		panic("mpc: BeginWave inside an open wave (close it with EndWave first)")
+	}
+	c.stats.currentWave = &WaveStats{Updates: k}
+}
+
+// EndWave finishes the current wave and records it on the open batch.
+func (c *Cluster) EndWave() WaveStats {
+	w := c.stats.currentWave
+	if w == nil {
+		panic("mpc: EndWave without an open wave")
+	}
+	c.stats.currentWave = nil
+	c.stats.currentBatch.Waves = append(c.stats.currentBatch.Waves, *w)
+	return *w
 }
 
 // BeginQuery starts query accounting for a single query; every subsequent
@@ -584,6 +645,9 @@ func (c *Cluster) Round() RoundStats {
 	}
 	if c.stats.currentBatch != nil {
 		c.stats.currentBatch.Add(rs)
+	}
+	if c.stats.currentWave != nil {
+		c.stats.currentWave.Rounds++
 	}
 	if c.stats.currentQuery != nil {
 		c.stats.currentQuery.Add(rs)
