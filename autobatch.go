@@ -34,6 +34,17 @@ package dmpc
 //     round, and the communication budget binds first. BatchStats.MaxWords
 //     counts cluster-wide words per round, so the natural setting is µ·S
 //     (Machines × MemWords), the model's aggregate per-round capacity.
+//   - Re-probe after the knee settles: every ReprobeEvery settled full
+//     batches the search re-opens so long-lived streams track workload
+//     drift — the settled k halves one step (so a knee that moved *down*
+//     is reachable, not just one that moved up), the stale best-window
+//     baseline is discarded (it described the old workload, exactly the
+//     poison the warmup rule guards against at startup), and the
+//     grow-unless-worse climb runs again from there. On a stable workload
+//     the re-probe costs a few windows and settles back at the same knee;
+//     under drift, repeated periods walk k to the new knee in either
+//     direction. A search settled by the word cap never re-probes: growing
+//     back into the cap would periodically violate the budget on purpose.
 //   - Partial batches (a final Flush shorter than k) are applied and
 //     recorded but never drive adaptation: their amortized figure is not
 //     comparable against full batches.
@@ -44,13 +55,16 @@ type AutoBatcher struct {
 	maxK         int
 	margin       float64
 	probeBatches int
+	reprobeEvery int
 
-	k       int
-	dir     int     // +1 probing upward, 0 settled at the knee
-	bestK   int     // k of the best window so far, the settle target
-	bestA   float64 // best windowed amortized rounds/update (<0: none yet)
-	strikes int     // consecutive windows measurably worse than bestA
-	warmup  int     // full batches still to discard before the search starts
+	k        int
+	dir      int     // +1 probing upward, 0 settled at the knee
+	bestK    int     // k of the best window so far, the settle target
+	bestA    float64 // best windowed amortized rounds/update (<0: none yet)
+	strikes  int     // consecutive windows measurably worse than bestA
+	warmup   int     // full batches still to discard before the search starts
+	settled  int     // full batches applied since the knee settled
+	capBound bool    // settled by the word cap: never re-probe upward
 
 	// accumulators of the in-progress probe window at the current k
 	winRounds, winUpdates, winBatches int
@@ -86,6 +100,10 @@ type AutoBatcherConfig struct {
 	// feeding the search (the empty-structure transient). 0 picks the
 	// default (ProbeBatches); negative disables the warmup.
 	WarmupBatches int
+	// ReprobeEvery re-opens the knee search after this many settled full
+	// batches, so long-lived streams track workload drift (see the policy
+	// comment). 0 picks the default (32); negative disables re-probing.
+	ReprobeEvery int
 }
 
 // NewAutoBatcher builds the driver. It panics if cfg.Apply is nil or the
@@ -131,6 +149,13 @@ func NewAutoBatcher(cfg AutoBatcherConfig) *AutoBatcher {
 	}
 	if ab.warmup < 0 {
 		ab.warmup = 0
+	}
+	ab.reprobeEvery = cfg.ReprobeEvery
+	if ab.reprobeEvery == 0 {
+		ab.reprobeEvery = 32
+	}
+	if ab.reprobeEvery < 0 {
+		ab.reprobeEvery = 0
 	}
 	return ab
 }
@@ -205,16 +230,33 @@ func (ab *AutoBatcher) flush(full bool) BatchStats {
 func (ab *AutoBatcher) adapt(st BatchStats) {
 	if ab.capWords > 0 && st.MaxWords > ab.capWords {
 		// The S cap binds before the round curve does: back off
-		// immediately (discarding the in-progress window) and stop probing
-		// upward.
+		// immediately (discarding the in-progress window), stop probing
+		// upward and never re-probe — growth from here would walk back
+		// into the cap by design.
 		ab.k = ab.clamp(ab.k / 2)
 		ab.bestK = ab.k
 		ab.dir = 0
+		ab.capBound = true
 		ab.winRounds, ab.winUpdates, ab.winBatches = 0, 0, 0
 		return
 	}
 	if ab.dir == 0 {
-		return // settled at the knee: nothing left to measure
+		if ab.reprobeEvery == 0 || ab.capBound {
+			return // settled for good: nothing left to measure
+		}
+		ab.settled++
+		if ab.settled < ab.reprobeEvery {
+			return
+		}
+		// Periodic re-probe: step one notch below the settled knee,
+		// discard the stale baseline, and run the climb again so the
+		// search can follow workload drift in either direction.
+		ab.settled = 0
+		ab.k = ab.clamp(ab.k / 2)
+		ab.bestK, ab.bestA = ab.k, -1
+		ab.strikes = 0
+		ab.dir = +1
+		return
 	}
 	if ab.warmup > 0 {
 		ab.warmup--

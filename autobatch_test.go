@@ -134,6 +134,132 @@ func TestAutoBatcherWordCapForcesShrink(t *testing.T) {
 	}
 }
 
+// TestAutoBatcherReprobeTracksDrift pins the periodic re-probe: a
+// long-lived stream whose cost curve drifts must not stay pinned at the
+// stale knee. Phase 1 has the knee at k=64 (halving costs up to it); after
+// the drift, rounds grow with k, so small batches win. Each re-probe
+// period steps k down one notch, discards the stale best-window baseline,
+// and re-runs the climb — over a few periods k must walk down from 64 and
+// settle low, which the pre-drift baseline would have forbidden (every
+// post-drift window looks "worse than best" forever).
+func TestAutoBatcherReprobeTracksDrift(t *testing.T) {
+	f := &fakeApply{}
+	applied := 0
+	f.cost = func(k int) float64 {
+		if applied < 1500 {
+			if k <= 64 {
+				return 64.0 / float64(k) // phase 1: knee at 64
+			}
+			return 1.4
+		}
+		return float64(k) / 4 // phase 2: cost grows with k — small batches win
+	}
+	f.words = func(int) int { return 10 }
+	ab := NewAutoBatcher(AutoBatcherConfig{
+		Apply: func(b Batch) BatchStats {
+			st := f.apply(b)
+			applied += len(b)
+			return st
+		},
+		StartK: 8, MaxK: 128, ProbeBatches: 1, WarmupBatches: -1, ReprobeEvery: 4,
+	})
+	for i := 0; i < 8000; i++ {
+		ab.Push(Update{Op: Insert, U: i, V: i + 1})
+	}
+	ks := ab.Ks()
+	settledAtKnee := false
+	for i, k := range ks {
+		if k == 64 && i+1 < len(ks) && ks[i+1] == 64 {
+			settledAtKnee = true
+		}
+	}
+	if !settledAtKnee {
+		t.Fatalf("phase 1 never settled at the knee 64: trajectory %v", ks)
+	}
+	if got := ab.K(); got > 8 {
+		t.Fatalf("after the drift the re-probe left k at %d, want <= 8 (trajectory tail %v)",
+			got, ks[maxi(0, len(ks)-12):])
+	}
+}
+
+// TestAutoBatcherReprobeStableWorkload pins that re-probing a stable
+// workload is safe: the search steps down, re-measures, climbs back and
+// settles at the same knee instead of wandering.
+func TestAutoBatcherReprobeStableWorkload(t *testing.T) {
+	f := &fakeApply{
+		cost: func(k int) float64 {
+			if k <= 32 {
+				return 32.0 / float64(k)
+			}
+			return 1.5
+		},
+		words: func(int) int { return 10 },
+	}
+	ab := NewAutoBatcher(AutoBatcherConfig{
+		Apply: f.apply, StartK: 8, MaxK: 128,
+		ProbeBatches: 1, WarmupBatches: -1, ReprobeEvery: 3,
+	})
+	for i := 0; i < 32*200; i++ {
+		ab.Push(Update{Op: Insert, U: i, V: i + 1})
+	}
+	ks := ab.Ks()
+	// A probe may be in flight when the stream ends, so judge the cycle,
+	// not the final instant: after the first settle the search must stay
+	// within one notch of the knee, and every re-probe climb must re-settle
+	// at 32 (the two-strike step-back from 64 to 32).
+	first := -1
+	for i := 0; i+1 < len(ks); i++ {
+		if ks[i] == 32 && ks[i+1] == 32 {
+			first = i
+			break
+		}
+	}
+	if first < 0 {
+		t.Fatalf("stable workload never settled at the knee 32: trajectory %v", ks)
+	}
+	resettles := 0
+	for i := first; i < len(ks); i++ {
+		if ks[i] != 16 && ks[i] != 32 && ks[i] != 64 {
+			t.Fatalf("re-probe wandered to k=%d on a stable workload (trajectory tail %v)",
+				ks[i], ks[maxi(0, i-6):])
+		}
+		if i >= 2 && ks[i] == 32 && ks[i-1] == 64 && ks[i-2] == 64 {
+			resettles++ // two strikes at 64, stepped back to the knee
+		}
+	}
+	if resettles < 2 {
+		t.Fatalf("only %d re-probe cycles re-settled at the knee (trajectory %v)", resettles, ks)
+	}
+}
+
+// TestAutoBatcherCapSettleNeverReprobes pins that a word-cap settle is
+// final: re-opening the search would grow k back into the budget violation
+// on a schedule.
+func TestAutoBatcherCapSettleNeverReprobes(t *testing.T) {
+	f := &fakeApply{
+		cost:  func(k int) float64 { return 64.0 / float64(k) }, // rounds always favor growth
+		words: func(k int) int { return 10 * k },
+	}
+	ab := NewAutoBatcher(AutoBatcherConfig{
+		Apply: f.apply, StartK: 32, CapWords: 200, ReprobeEvery: 2,
+	})
+	for i := 0; i < 32*40; i++ {
+		ab.Push(Update{Op: Insert, U: i, V: i + 1})
+	}
+	for i, k := range ab.Ks() {
+		if i > 0 && k != 16 {
+			t.Fatalf("batch %d ran at k=%d after the cap settle, want 16 forever (trajectory %v)", i, k, ab.Ks())
+		}
+	}
+}
+
+func maxi(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
 // TestAutoBatcherPartialFlush pins that a short tail batch is applied and
 // recorded but never drives adaptation.
 func TestAutoBatcherPartialFlush(t *testing.T) {

@@ -14,9 +14,10 @@
 // perf trajectory can be committed as BENCH_NNNN.json snapshots and
 // diffed across PRs.
 //
-// With -shard the dyncon wave packers are compared head to head at
-// k ∈ {8, 64, 256}: the PR 1 greedy-prefix packer (ApplyBatchPrefix)
-// against the conflict-graph wave scheduler (ApplyBatch), with wave-width
+// With -shard each algorithm's wave-scheduled ApplyBatch is compared head
+// to head against its retained serial baseline at k ∈ {8, 64, 256}: dyncon
+// against the PR 1 greedy-prefix packer (ApplyBatchPrefix), dmm against
+// the PR 1 coordinator-chaining path (ApplyBatchChained), with wave-width
 // histograms showing where the round savings come from. With -autobatch
 // the dmpc.AutoBatcher adaptive batch-sizing driver runs the stream and
 // reports the chunk-size trajectory its knee search took.
@@ -28,9 +29,13 @@
 // query are reported alongside that run's rounds per update — the read
 // path's counterpart of the batch-dynamic headline.
 //
+// With -baseline FILE the run's amortized batch rounds are compared
+// against a committed BENCH_*.json snapshot and the command exits nonzero
+// on a regression beyond -tolerance (default 10%) — the CI bench smoke.
+//
 // Usage:
 //
-//	dmpcbench [-n 128] [-updates 500] [-seed 1] [-sweep] [-batch k] [-shard] [-autobatch] [-queries Q] [-readfrac f] [-json]
+//	dmpcbench [-n 128] [-updates 500] [-seed 1] [-sweep] [-batch k] [-shard] [-autobatch] [-queries Q] [-readfrac f] [-json] [-baseline FILE] [-tolerance f]
 package main
 
 import (
@@ -249,23 +254,27 @@ func batchTable(n, nUpdates, batch int, seed int64) []batchRow {
 	return rows
 }
 
-// --- conflict sharding vs greedy-prefix packing ---------------------------
+// --- wave scheduler vs per-algorithm serial baseline ----------------------
 
-// shardRow compares the two dyncon wave packers at one batch size: the PR 1
-// greedy-prefix baseline against the conflict-graph scheduler, over the
-// same stream (fresh instances each). The wave-width histograms expose
-// *why* the amortized rounds drop: the scheduler packs far wider waves out
-// of the same batch.
+// shardRow compares an algorithm's wave-scheduled ApplyBatch against its
+// retained serial baseline at one batch size, over the same stream (fresh
+// instances each): dyncon against the PR 1 greedy-prefix packer
+// (ApplyBatchPrefix), dmm against the PR 1 coordinator-chaining path
+// (ApplyBatchChained). The wave-width histograms expose *why* the
+// amortized rounds drop: the scheduler packs wider waves out of the same
+// batch (dmm's chained serial segments carry no wave attribution, so its
+// histogram shows the genuinely concurrent share).
 type shardRow struct {
-	Name            string   `json:"name"`
-	K               int      `json:"k"`
-	PrefixAmortized float64  `json:"prefix_rounds_per_update"`
-	ShardAmortized  float64  `json:"sharded_rounds_per_update"`
-	Ratio           float64  `json:"sharded_over_prefix"`
-	PrefixWaves     int      `json:"prefix_waves"`
-	ShardWaves      int      `json:"sharded_waves"`
-	PrefixWaveHist  [][2]int `json:"prefix_wave_width_hist"`  // [width, count] ascending
-	ShardWaveHist   [][2]int `json:"sharded_wave_width_hist"` // [width, count] ascending
+	Name           string   `json:"name"`
+	Baseline       string   `json:"baseline"`
+	K              int      `json:"k"`
+	BaseAmortized  float64  `json:"baseline_rounds_per_update"`
+	ShardAmortized float64  `json:"sharded_rounds_per_update"`
+	Ratio          float64  `json:"sharded_over_baseline"`
+	BaseWaves      int      `json:"baseline_waves"`
+	ShardWaves     int      `json:"sharded_waves"`
+	BaseWaveHist   [][2]int `json:"baseline_wave_width_hist"` // [width, count] ascending
+	ShardWaveHist  [][2]int `json:"sharded_wave_width_hist"`  // [width, count] ascending
 }
 
 // waveHist folds the per-wave attribution of a run's batches into a
@@ -289,16 +298,36 @@ func waveHist(batches []mpc.BatchStats) (hist [][2]int, waves int) {
 	return hist, waves
 }
 
+// shardRunner is one algorithm's pair of batch paths for the comparison.
+type shardRunner struct {
+	name     string
+	baseline string
+	mk       func() (base func(graph.Batch) mpc.BatchStats, wave func(graph.Batch) mpc.BatchStats)
+}
+
+func shardRunners(n, capEdges int) []shardRunner {
+	return []shardRunner{
+		{"Connected comps (§5)", "greedy-prefix packer", func() (func(graph.Batch) mpc.BatchStats, func(graph.Batch) mpc.BatchStats) {
+			a := dyncon.New(dyncon.Config{N: n, Mode: dyncon.CC, ExpectedEdges: capEdges})
+			b := dyncon.New(dyncon.Config{N: n, Mode: dyncon.CC, ExpectedEdges: capEdges})
+			return a.ApplyBatchPrefix, b.ApplyBatch
+		}},
+		{"(1+ε)-MST (§5.1)", "greedy-prefix packer", func() (func(graph.Batch) mpc.BatchStats, func(graph.Batch) mpc.BatchStats) {
+			a := dyncon.New(dyncon.Config{N: n, Mode: dyncon.MST, Eps: 0.25, ExpectedEdges: capEdges})
+			b := dyncon.New(dyncon.Config{N: n, Mode: dyncon.MST, Eps: 0.25, ExpectedEdges: capEdges})
+			return a.ApplyBatchPrefix, b.ApplyBatch
+		}},
+		{"Maximal matching (§3)", "coordinator chaining", func() (func(graph.Batch) mpc.BatchStats, func(graph.Batch) mpc.BatchStats) {
+			a := dmm.New(dmm.Config{N: n, CapEdges: capEdges})
+			b := dmm.New(dmm.Config{N: n, CapEdges: capEdges})
+			return a.ApplyBatchChained, b.ApplyBatch
+		}},
+	}
+}
+
 func shardTable(n, nUpdates int, seed int64) []shardRow {
 	capEdges := 6 * n
 	stream := graph.RandomStream(n, nUpdates, 0.55, 50, rand.New(rand.NewSource(seed+100)))
-	modes := []struct {
-		name string
-		cfg  dyncon.Config
-	}{
-		{"Connected comps (§5)", dyncon.Config{N: n, Mode: dyncon.CC, ExpectedEdges: capEdges}},
-		{"(1+ε)-MST (§5.1)", dyncon.Config{N: n, Mode: dyncon.MST, Eps: 0.25, ExpectedEdges: capEdges}},
-	}
 	// Chunk clamps k to the stream length, so any k >= len(stream) measures
 	// the identical one-chunk run; report it once, labeled with the
 	// effective k, instead of emitting duplicate rows under distinct labels.
@@ -313,24 +342,25 @@ func shardTable(n, nUpdates int, seed int64) []shardRow {
 		ks = append(ks, k)
 	}
 	var rows []shardRow
-	for _, md := range modes {
+	for _, sr := range shardRunners(n, capEdges) {
 		for _, k := range ks {
-			run := func(apply func(*dyncon.D, graph.Batch) mpc.BatchStats) (float64, []mpc.BatchStats) {
-				d := dyncon.New(md.cfg)
+			run := func(apply func(graph.Batch) mpc.BatchStats) (float64, []mpc.BatchStats) {
 				var rounds, upd int
 				var batches []mpc.BatchStats
 				for _, b := range graph.Chunk(stream, k) {
-					st := apply(d, b)
+					st := apply(b)
 					rounds += st.Rounds
 					upd += st.Updates
 					batches = append(batches, st)
 				}
 				return float64(rounds) / float64(upd), batches
 			}
-			pa, pb := run((*dyncon.D).ApplyBatchPrefix)
-			sa, sb := run((*dyncon.D).ApplyBatch)
-			row := shardRow{Name: md.name, K: k, PrefixAmortized: pa, ShardAmortized: sa, Ratio: sa / pa}
-			row.PrefixWaveHist, row.PrefixWaves = waveHist(pb)
+			base, wave := sr.mk()
+			pa, pb := run(base)
+			sa, sb := run(wave)
+			row := shardRow{Name: sr.name, Baseline: sr.baseline, K: k,
+				BaseAmortized: pa, ShardAmortized: sa, Ratio: sa / pa}
+			row.BaseWaveHist, row.BaseWaves = waveHist(pb)
 			row.ShardWaveHist, row.ShardWaves = waveHist(sb)
 			rows = append(rows, row)
 		}
@@ -339,20 +369,21 @@ func shardTable(n, nUpdates int, seed int64) []shardRow {
 }
 
 func printShardTable(rows []shardRow) {
-	fmt.Println("\nConflict-graph wave scheduler vs greedy-prefix packing (dyncon ApplyBatch vs ApplyBatchPrefix):")
+	fmt.Println("\nShared wave scheduler vs per-algorithm serial baseline (dyncon ApplyBatchPrefix, dmm ApplyBatchChained):")
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintf(w, "Algorithm\tk\tprefix r/upd\tsharded r/upd\tratio\tprefix waves\tsharded waves\twidest wave\n")
+	fmt.Fprintf(w, "Algorithm\tbaseline\tk\tbase r/upd\tsharded r/upd\tratio\tbase waves\tsharded waves\twidest wave\n")
 	for _, r := range rows {
 		widest := 0
 		if len(r.ShardWaveHist) > 0 {
 			widest = r.ShardWaveHist[len(r.ShardWaveHist)-1][0]
 		}
-		fmt.Fprintf(w, "%s\t%d\t%.2f\t%.2f\t%.2f\t%d\t%d\t%d\n",
-			r.Name, r.K, r.PrefixAmortized, r.ShardAmortized, r.Ratio, r.PrefixWaves, r.ShardWaves, widest)
+		fmt.Fprintf(w, "%s\t%s\t%d\t%.2f\t%.2f\t%.2f\t%d\t%d\t%d\n",
+			r.Name, r.Baseline, r.K, r.BaseAmortized, r.ShardAmortized, r.Ratio, r.BaseWaves, r.ShardWaves, widest)
 	}
 	w.Flush()
-	fmt.Println("(one early conflicting edge caps a prefix wave; the conflict-graph scheduler")
-	fmt.Println(" packs independent updates from the whole batch, so waves get wider and fewer)")
+	fmt.Println("(one early conflict caps a prefix wave and chaining runs every case analysis")
+	fmt.Println(" back to back; the shared scheduler packs independent updates from the whole")
+	fmt.Println(" batch into concurrent waves and budget-packs the orchestrator machines)")
 }
 
 // --- adaptive batch sizing ------------------------------------------------
@@ -596,8 +627,9 @@ type benchReport struct {
 	Sweep    []sweepRow  `json:"sweep,omitempty"`
 }
 
-func printJSON(rows []row, brows []batchRow, shrows []shardRow, arows []autoRow, qrows []queryRow, srows []sweepRow, n, updates, batch, queryUpdK int, readfrac float64, seed int64) {
-	rep := benchReport{Schema: "dmpcbench/v1", N: n, Updates: updates, Seed: seed, BatchK: batch,
+// buildReport assembles the machine-readable measurement document.
+func buildReport(rows []row, brows []batchRow, shrows []shardRow, arows []autoRow, qrows []queryRow, srows []sweepRow, n, updates, batch, queryUpdK int, readfrac float64, seed int64) benchReport {
+	rep := benchReport{Schema: "dmpcbench/v2", N: n, Updates: updates, Seed: seed, BatchK: batch,
 		Shard: shrows, Auto: arows, Sweep: srows}
 	if len(qrows) > 0 {
 		rep.ReadFrac = readfrac
@@ -625,12 +657,62 @@ func printJSON(rows []row, brows []batchRow, shrows []shardRow, arows []autoRow,
 			WorstMachines: r.maxActive, MeanWordsPerRound: r.meanWords,
 		})
 	}
+	return rep
+}
+
+func printJSON(rep benchReport) {
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(rep); err != nil {
 		fmt.Fprintln(os.Stderr, "dmpcbench:", err)
 		os.Exit(1)
 	}
+}
+
+// checkBaseline compares the run's amortized batch rounds against a
+// committed BENCH snapshot (the CI bench-regression smoke): for every
+// (name, k) batch row present in both, the measured amortized
+// rounds/update may not exceed the snapshot's by more than tol (relative).
+// The simulator is deterministic for fixed flags and seed, so any drift is
+// a code change, and tol only leaves room for intentional small
+// scheduling tweaks between re-pins.
+func checkBaseline(rep benchReport, path string, tol float64) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var want benchReport
+	if err := json.Unmarshal(raw, &want); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if want.N != rep.N || want.Updates != rep.Updates || want.Seed != rep.Seed || want.BatchK != rep.BatchK {
+		return fmt.Errorf("%s was recorded with -n %d -updates %d -seed %d -batch %d; this run used -n %d -updates %d -seed %d -batch %d",
+			path, want.N, want.Updates, want.Seed, want.BatchK, rep.N, rep.Updates, rep.Seed, rep.BatchK)
+	}
+	type key struct {
+		name string
+		k    int
+	}
+	base := make(map[key]float64, len(want.Batch))
+	for _, b := range want.Batch {
+		base[key{b.Name, b.K}] = b.AmortizedRounds
+	}
+	matched := 0
+	for _, b := range rep.Batch {
+		wantA, ok := base[key{b.Name, b.K}]
+		if !ok {
+			continue
+		}
+		matched++
+		if b.AmortizedRounds > wantA*(1+tol) {
+			return fmt.Errorf("%s (k=%d): amortized rounds/update %.3f regressed past snapshot %.3f by more than %.0f%% (%s)",
+				b.Name, b.K, b.AmortizedRounds, wantA, tol*100, path)
+		}
+	}
+	if matched == 0 {
+		return fmt.Errorf("%s: no batch rows matched this run (was the snapshot generated with -batch?)", path)
+	}
+	return nil
 }
 
 func printTable(rows []row, n int) {
@@ -721,6 +803,8 @@ func main() {
 	queries := flag.Int("queries", 0, "measure the mixed read/write workload with up to this many protocol queries per run")
 	readfrac := flag.Float64("readfrac", 0.5, "target read fraction of the mixed workload")
 	asJSON := flag.Bool("json", false, "emit the measurements as JSON")
+	baseline := flag.String("baseline", "", "committed BENCH_*.json snapshot to compare amortized batch rounds against; exit nonzero on >tolerance regression")
+	tolerance := flag.Float64("tolerance", 0.10, "relative regression tolerance for -baseline")
 	flag.Parse()
 
 	rows := table(*n, *updates, *seed)
@@ -753,8 +837,16 @@ func main() {
 	if *doSweep {
 		srows = sweepRows(*seed)
 	}
+	rep := buildReport(rows, brows, shrows, arows, qrows, srows, *n, *updates, *batch, queryUpdK, *readfrac, *seed)
+	if *baseline != "" {
+		if err := checkBaseline(rep, *baseline, *tolerance); err != nil {
+			fmt.Fprintln(os.Stderr, "dmpcbench: bench regression:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "dmpcbench: no bench regression vs %s (tolerance %.0f%%)\n", *baseline, *tolerance*100)
+	}
 	if *asJSON {
-		printJSON(rows, brows, shrows, arows, qrows, srows, *n, *updates, *batch, queryUpdK, *readfrac, *seed)
+		printJSON(rep)
 		return
 	}
 	fmt.Printf("DMPC dynamic algorithms — Table 1 reproduction (n=%d, %d updates, seed %d)\n\n", *n, *updates, *seed)

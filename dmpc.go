@@ -21,10 +21,13 @@
 //
 // Beyond the paper, every structure accepts batches of updates through
 // ApplyBatch: a Batch shares one round-accounting window (BatchStats), and
-// the algorithms overlap or parallelize non-conflicting updates so the
-// amortized rounds per update drop as the batch grows — the direction of
-// the batch-dynamic follow-ups (Nowicki–Onak, arXiv:2002.07800; Durfee et
-// al., arXiv:1908.01956). The read path is symmetric: every structure
+// the algorithms parallelize non-conflicting updates so the amortized
+// rounds per update drop as the batch grows — the direction of the
+// batch-dynamic follow-ups (Nowicki–Onak, arXiv:2002.07800; Durfee et al.,
+// arXiv:1908.01956). The wave machinery itself — resource-keyed conflict
+// building, order-preserving precedence coloring, per-machine broadcast-
+// budget packing, and the first-wave/recompute loop — lives in the shared
+// internal/sched subsystem that dyncon and dmm both schedule through. The read path is symmetric: every structure
 // answers protocol queries (Connected/ComponentOf, Matched/MateOf) whose
 // rounds are charged to QueryStats windows, and batched queries
 // (ConnectedBatch, MateOfBatch) share one scatter/gather window so the
@@ -187,11 +190,19 @@ func (mm *MaximalMatching) Insert(u, v int) UpdateStats { return mm.m.Insert(u, 
 // Delete removes an edge.
 func (mm *MaximalMatching) Delete(u, v int) UpdateStats { return mm.m.Delete(u, v) }
 
-// ApplyBatch applies a batch of updates in one shared round window,
-// chaining them through the coordinator so injection and ack-tail rounds
-// are paid once per batch (see dmm.ApplyBatch). The resulting matching is
-// identical to applying the updates one at a time.
+// ApplyBatch applies a batch of updates in one shared round window through
+// the shared wave scheduler: endpoint-disjoint updates progress the §3
+// case analysis phase-parallel as concurrent waves at the coordinator,
+// serial stretches fall back to coordinator chaining (see dmm.ApplyBatch).
+// The resulting matching is identical to applying the updates one at a
+// time.
 func (mm *MaximalMatching) ApplyBatch(b Batch) BatchStats { return mm.m.ApplyBatch(b) }
+
+// ApplyBatchChained applies a batch through the PR 1 coordinator-chaining
+// path — strictly in-order execution with shared injection and ack-tail
+// rounds — retained as the serial baseline the wave scheduler is
+// benchmarked against (see dmm.ApplyBatchChained).
+func (mm *MaximalMatching) ApplyBatchChained(b Batch) BatchStats { return mm.m.ApplyBatchChained(b) }
 
 // MateOf answers "who is v matched to?" (-1 = free) as a one-round
 // protocol query at v's statistics machine.

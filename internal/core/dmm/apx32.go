@@ -83,7 +83,7 @@ func (c *coordinator) flushNext(ctx *mpc.Ctx, pending []int32, dirs map[int32]in
 		c.await(ctx, len(machines), func(ctx *mpc.Ctx) {
 			// Batch ±1 deltas to the stats machines, grouped by owner.
 			group := map[int32]*cmsg{}
-			for _, r := range c.replies {
+			for _, r := range c.cur.replies {
 				if r.Kind != cListRep {
 					continue
 				}
@@ -194,7 +194,7 @@ func (c *coordinator) scanFreeExcluding(ctx *mpc.Ctx, v int32, s stat, excl int3
 }
 
 func (c *coordinator) ctrOf(v int32) int32 {
-	for _, r := range c.replies {
+	for _, r := range c.cur.replies {
 		if r.Kind == cCtrRep {
 			for i, x := range r.Vs {
 				if x == v {
@@ -256,7 +256,7 @@ func (c *coordinator) aug3From(ctx *mpc.Ctx, z int32, cont func(ctx *mpc.Ctx)) {
 			// under the rare fallback paths.
 			partner := map[int32]edgeRec{}
 			var mates []int32
-			for _, r := range c.replies {
+			for _, r := range c.cur.replies {
 				if r.Kind != cListRep {
 					continue
 				}
@@ -289,7 +289,7 @@ func (c *coordinator) aug3From(ctx *mpc.Ctx, z int32, cont func(ctx *mpc.Ctx)) {
 			c.await(ctx, len(group), func(ctx *mpc.Ctx) {
 				var candMates []int32
 				ctrs := map[int32]int32{}
-				for _, r := range c.replies {
+				for _, r := range c.cur.replies {
 					if r.Kind != cCtrRep {
 						continue
 					}

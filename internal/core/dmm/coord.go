@@ -172,19 +172,33 @@ type coordinator struct {
 	flips       map[int32]*flipInfo
 	freed       map[int32]bool
 
-	// continuation-driven orchestration; one update in flight at a time.
-	// Solicited replies echo updSeq; unsolicited acks (store/refresh
-	// bookkeeping) carry -1 and only adjust the free-space directory.
-	updSeq  int64
+	// continuation-driven orchestration, one flow per in-flight update:
+	// the per-seq continuation table that lets endpoint-disjoint updates
+	// progress the §3 case analysis phase-parallel within a wave. Solicited
+	// replies echo their update's seq and route to its flow; unsolicited
+	// acks (store/refresh bookkeeping) carry -1 and only adjust the
+	// free-space directory. cur is the flow whose continuation is
+	// executing — the helpers (send, await, statOf, ...) read it, so the
+	// orchestration code in update.go stays written per update.
+	inflight map[int64]*flow
+	cur      *flow
+
+	// serialize restores the PR 1 chained baseline (ApplyBatchChained):
+	// updates arriving while one is in flight queue here and start in the
+	// round the previous update finishes, overlapping each update's
+	// injection and ack-tail rounds with its successor but never running
+	// two case analyses concurrently.
+	serialize bool
+	queue     []cmsg
+}
+
+// flow is one in-flight update's continuation state at MC: which replies
+// it is waiting for and what to do when they are all in.
+type flow struct {
+	seq     int64
 	waiting int
 	replies []cmsg
 	cont    func(ctx *mpc.Ctx)
-
-	// batch chaining: updates arriving while one is in flight queue here
-	// and start in the round the previous update finishes, overlapping each
-	// update's injection and ack-tail rounds with its successor.
-	busy  bool
-	queue []cmsg
 }
 
 func newCoordinator(cfg Config, mu, numStats, statsPer, mem, heavyAt, aliveCap int) *coordinator {
@@ -198,6 +212,7 @@ func newCoordinator(cfg Config, mu, numStats, statsPer, mem, heavyAt, aliveCap i
 		threeHalves: cfg.ThreeHalves,
 		flips:       make(map[int32]*flipInfo),
 		freed:       make(map[int32]bool),
+		inflight:    make(map[int64]*flow),
 	}
 	for i := c.firstStore(); i < mu; i++ {
 		c.freeWords[i] = int32(mem)
@@ -209,7 +224,7 @@ func newCoordinator(cfg Config, mu, numStats, statsPer, mem, heavyAt, aliveCap i
 func (c *coordinator) firstStore() int { return 1 + c.numStats }
 
 func (c *coordinator) MemWords() int {
-	return len(c.h)*4 + len(c.lastSync)*2 + len(c.freeWords) + 4*len(c.queue) + 16
+	return len(c.h)*4 + len(c.lastSync)*2 + len(c.freeWords) + 4*len(c.queue) + 8*len(c.inflight) + 16
 }
 
 func (c *coordinator) statsOf(v int32) int32 { return 1 + v/int32(c.statsPer) }
@@ -239,6 +254,29 @@ func (c *coordinator) suffixFor(m int32) []hentry {
 	out := append([]hentry(nil), c.h[ls-c.hBase:]...)
 	c.lastSync[m] = end
 	return out
+}
+
+// suffixLen reports how many H entries machine m has not yet seen, without
+// advancing its cursor — the driver-side cost estimate for the need-to-know
+// suffix the next message to m will carry (the batch scheduler's MC budget
+// claim).
+func (c *coordinator) suffixLen(m int32) int {
+	return int(c.hBase + int64(len(c.h)) - c.lastSync[m])
+}
+
+// meanStoreSuffix averages suffixLen over the storage pool — the expected
+// per-refresh suffix cost, charged per wave member because every finishing
+// update refreshes one round-robin machine.
+func (c *coordinator) meanStoreSuffix() int {
+	n := c.mu - c.firstStore()
+	if n <= 0 {
+		return 0
+	}
+	total := 0
+	for m := c.firstStore(); m < c.mu; m++ {
+		total += c.suffixLen(int32(m))
+	}
+	return total / n
 }
 
 // deletedInH reports whether edge (v,other) has a pending lazy deletion
@@ -289,19 +327,21 @@ func (c *coordinator) release(m int32) {
 	c.lastSync[m] = c.hBase + int64(len(c.h))
 }
 
+// await parks the current flow until n replies carrying its seq arrive.
 func (c *coordinator) await(ctx *mpc.Ctx, n int, f func(ctx *mpc.Ctx)) {
 	if n == 0 {
 		f(ctx)
 		return
 	}
-	c.waiting = n
-	c.replies = c.replies[:0]
-	c.cont = f
+	fl := c.cur
+	fl.waiting = n
+	fl.replies = fl.replies[:0]
+	fl.cont = f
 }
 
 func (c *coordinator) send(ctx *mpc.Ctx, to int32, m cmsg) {
 	if m.Seq == 0 {
-		m.Seq = c.updSeq
+		m.Seq = c.cur.seq
 	}
 	ctx.Send(int(to), m, m.words())
 }
@@ -320,31 +360,42 @@ func (c *coordinator) HandleRound(ctx *mpc.Ctx, inbox []mpc.Message) {
 		}
 		switch m.Kind {
 		case cUpdate:
-			if c.busy {
+			if c.serialize && len(c.inflight) > 0 {
 				c.queue = append(c.queue, m)
 				continue
 			}
-			c.startUpdate(ctx, m)
+			c.begin(ctx, m)
 		case cStatsRep, cScanRep, cAck, cListRep, cCtrRep:
 			if m.Kind != cStatsRep && m.Kind != cCtrRep {
 				// Free-space deltas ride on every storage reply.
 				c.freeWords[m.Target] += m.Freed - m.Used
 			}
-			if m.Seq != c.updSeq {
-				continue // unsolicited bookkeeping ack
+			fl := c.inflight[m.Seq] // Seq -1: unsolicited bookkeeping ack
+			if fl == nil {
+				continue
 			}
-			c.replies = append(c.replies, m)
-			if c.cont != nil && len(c.replies) >= c.waiting {
-				f := c.cont
-				c.cont = nil
+			fl.replies = append(fl.replies, m)
+			if fl.cont != nil && len(fl.replies) >= fl.waiting {
+				f := fl.cont
+				fl.cont = nil
+				c.cur = fl
 				f(ctx)
 			}
 		}
 	}
 }
 
+// begin opens a flow for the update and starts its case analysis in the
+// current round.
+func (c *coordinator) begin(ctx *mpc.Ctx, m cmsg) {
+	fl := &flow{seq: m.Seq}
+	c.inflight[m.Seq] = fl
+	c.cur = fl
+	c.startUpdate(ctx, m)
+}
+
 func (c *coordinator) statOf(v int32) stat {
-	for _, r := range c.replies {
+	for _, r := range c.cur.replies {
 		if r.Kind == cStatsRep && r.V == v {
 			return r.St
 		}
@@ -353,7 +404,7 @@ func (c *coordinator) statOf(v int32) stat {
 }
 
 func (c *coordinator) scanRep() cmsg {
-	for _, r := range c.replies {
+	for _, r := range c.cur.replies {
 		if r.Kind == cScanRep {
 			return r
 		}
@@ -362,7 +413,7 @@ func (c *coordinator) scanRep() cmsg {
 }
 
 func (c *coordinator) ackCount(target int32) int32 {
-	for _, r := range c.replies {
+	for _, r := range c.cur.replies {
 		if r.Kind == cAck && r.Target == target {
 			return r.Count
 		}
@@ -459,19 +510,21 @@ func (c *coordinator) finishUpdate(ctx *mpc.Ctx) {
 	done(ctx)
 }
 
-// updateDone clears the in-flight flag and chains the next queued update,
-// if any, into the current round: its first stats requests leave in the
-// same round as the finished update's final writes and refresh, so a batch
-// of k updates pays the injection and ack-tail rounds once instead of k
-// times.
+// updateDone closes the current flow and, in serialize mode, chains the
+// next queued update into the current round: its first stats requests
+// leave in the same round as the finished update's final writes and
+// refresh, so a chained batch of k updates pays the injection and ack-tail
+// rounds once instead of k times. In wave mode the queue is never used —
+// the driver injects each conflict-free wave in one round and every member
+// opens its own flow on arrival.
 func (c *coordinator) updateDone(ctx *mpc.Ctx) {
-	c.busy = false
+	delete(c.inflight, c.cur.seq)
 	if len(c.queue) == 0 {
 		return
 	}
 	m := c.queue[0]
 	c.queue = c.queue[1:]
-	c.startUpdate(ctx, m)
+	c.begin(ctx, m)
 }
 
 func (c *coordinator) refreshOne(ctx *mpc.Ctx) {

@@ -46,6 +46,7 @@ import (
 
 	"dmpc/internal/graph"
 	"dmpc/internal/mpc"
+	"dmpc/internal/sched"
 )
 
 // Config sizes a dynamic maximal matching instance.
@@ -71,6 +72,11 @@ type M struct {
 	storage []*storeMachine
 	seq     int64
 	queryID int64
+
+	// wavePerm, when set by a test, permutes the injection order of every
+	// scheduled wave in place — the hook behind the permutation-
+	// commutativity property test. Production code leaves it nil.
+	wavePerm func(wave []int)
 }
 
 // New builds an empty instance.
@@ -138,11 +144,7 @@ func (m *M) Delete(u, v int) mpc.UpdateStats {
 func (m *M) update(up graph.Update) mpc.UpdateStats {
 	m.seq++
 	m.cluster.BeginUpdate()
-	m.cluster.Send(mpc.Message{
-		From: -1, To: 0,
-		Payload: cmsg{Kind: cUpdate, A: int32(up.U), B: int32(up.V), Seq: m.seq, Del: up.Op == graph.Delete},
-		Words:   4,
-	})
+	m.inject(up, m.seq)
 	if m.cluster.Run(80); !m.cluster.Quiescent() {
 		panic(fmt.Sprintf("dmm: update %v did not quiesce in 80 rounds", up))
 	}
@@ -150,22 +152,258 @@ func (m *M) update(up graph.Update) mpc.UpdateStats {
 }
 
 // ApplyBatch processes a batch of updates in one shared round-accounting
-// window. All k updates are injected at MC in a single round; the
-// coordinator executes them in order (the §3 case analysis is inherently
-// serial at MC) but chains each update's first requests into the round the
-// previous update finishes, so the injection round and the set/refresh ack
-// tail — a constant number of rounds per update — are paid once per batch.
-// The resulting matching is identical to applying the updates one at a
-// time.
+// window using the shared wave scheduler (internal/sched): updates whose
+// §3 case analysis provably touches only their endpoints and those
+// endpoints' current mates run phase-parallel as one concurrent wave — MC
+// opens a per-seq continuation flow for each and interleaves their
+// stats/storage round trips — while updates whose touch set cannot be
+// bounded at schedule time (deletions of matched edges and insertions at
+// a free heavy endpoint, whose rematch/surrogate chains scan arbitrary
+// neighbors) run solo in batch position. Items are recomputed from live
+// statistics between waves, and sequence numbers are assigned by batch
+// position, so the final mate table is bit-identical to applying the
+// updates one at a time (pinned by FuzzBatchEquivalence and
+// TestWavePermutationCommutativity).
+//
+// A wave of w updates costs the rounds of one update instead of w — the
+// batch-dynamic win serial coordinator chaining (ApplyBatchChained, the
+// PR 1 baseline) could not reach, because chaining still ran every case
+// analysis back to back. Stretches of the batch with no parallelism to
+// extract (a wave of width 1) do not regress below that baseline either:
+// the driver detects the maximal serial head-run and executes it chained
+// through the coordinator queue — serialize mode is sequential replay by
+// construction, so the fallback needs no schedule-time reads at all — and
+// only genuine waves pay wave bookkeeping.
 func (m *M) ApplyBatch(batch graph.Batch) mpc.BatchStats {
+	m.cluster.BeginBatch(len(batch))
+	base := m.seq
+	m.seq += int64(len(batch))
+	item := m.batchItem(batch)
+	budget := m.cluster.MemWords()
+	pending := make([]int, len(batch))
+	for i := range pending {
+		pending[i] = i
+	}
+	items := make([]sched.Item, len(batch))
+	for len(pending) > 0 {
+		// The mean refresh-suffix cost only moves when rounds execute, so
+		// it is read once per scheduling pass, not once per item.
+		meanSuffix := m.coord.meanStoreSuffix()
+		for j, b := range pending {
+			items[j] = item(b, meanSuffix)
+		}
+		wave := sched.FirstWave(items[:len(pending)], budget)
+		if len(wave) > 1 {
+			ids := make([]int, len(wave))
+			for x, j := range wave {
+				ids[x] = pending[j]
+			}
+			m.runWave(batch, base, ids)
+			kept := pending[:0]
+			x := 0
+			for j, b := range pending {
+				if x < len(wave) && wave[x] == j {
+					x++
+					continue
+				}
+				kept = append(kept, b)
+			}
+			pending = kept
+			continue
+		}
+		// Serial head-run: the front of the remaining batch packs no wave.
+		// Chain forward while the (schedule-time) item view keeps yielding
+		// width-1 waves — a segmentation heuristic only; chained execution
+		// is sequential replay whatever the items say.
+		run := 1
+		for run < len(pending) && len(sched.FirstWave(items[run:len(pending)], budget)) == 1 {
+			run++
+		}
+		m.runChained(batch, base, pending[:run])
+		pending = pending[run:]
+	}
+	// Absorb the last run's leftover bookkeeping acks inside the batch
+	// window so the structure is quiescent for whatever comes next.
+	m.cluster.Drain(16, "dmm: batch ack tail")
+	return m.cluster.EndBatch()
+}
+
+// runWave injects the scheduled wave (batch indices) at MC in one round —
+// every member opens its own continuation flow on arrival — and drives the
+// flows to completion inside a per-wave attribution window. The test-only
+// wavePerm hook permutes the injection order, backing the permutation-
+// commutativity property test.
+func (m *M) runWave(batch graph.Batch, base int64, wave []int) {
+	order := wave
+	if m.wavePerm != nil {
+		order = append([]int(nil), wave...)
+		m.wavePerm(order)
+	}
+	m.cluster.BeginWave(len(wave))
+	for _, i := range order {
+		m.inject(batch[i], base+int64(i)+1)
+	}
+	m.driveFlows(80*len(wave)+16, fmt.Sprintf("dmm: batch wave of %d updates", len(wave)))
+	m.cluster.EndWave()
+}
+
+// runChained executes a serial segment (batch indices) through the
+// coordinator queue: all updates are injected in one round, MC runs them
+// strictly in order and chains each update's first requests into the round
+// the previous one finishes — the PR 1 batch path, scoped to the segments
+// where it is optimal. Chained rounds belong to the batch window only: a
+// wave records genuine concurrency, and a serial segment has none.
+func (m *M) runChained(batch graph.Batch, base int64, seg []int) {
+	m.coord.serialize = true
+	defer func() { m.coord.serialize = false }()
+	for _, i := range seg {
+		m.inject(batch[i], base+int64(i)+1)
+	}
+	m.driveFlows(80*len(seg)+16, fmt.Sprintf("dmm: chained run of %d updates", len(seg)))
+}
+
+func (m *M) inject(up graph.Update, seq int64) {
+	m.cluster.Send(mpc.Message{
+		From: -1, To: 0,
+		Payload: cmsg{Kind: cUpdate, A: int32(up.U), B: int32(up.V), Seq: seq, Del: up.Op == graph.Delete},
+		Words:   4,
+	})
+}
+
+// driveFlows runs rounds from the injection round until MC has closed
+// every flow (and drained its serialize queue), then one more round so the
+// final flows' authoritative statistics and storage writes land — the
+// point where driver-side schedule reads are current again. The round-
+// robin refresh and store acks of the tail are deliberately left in
+// flight: they carry no semantic state (they only true up MC's free-space
+// directory), so their rounds overlap the next wave instead of extending
+// this one.
+func (m *M) driveFlows(limit int, what string) {
+	rounds := 0
+	for {
+		m.cluster.Round()
+		rounds++
+		if len(m.coord.inflight) == 0 && len(m.coord.queue) == 0 {
+			m.cluster.Round()
+			return
+		}
+		if rounds >= limit {
+			panic(fmt.Sprintf("%s did not complete within %d rounds", what, limit))
+		}
+	}
+}
+
+// batchItem reads one update's schedule-time resources from the
+// authoritative statistics (driver-side, between waves, at quiescence —
+// so the reads are current).
+//
+// Classification: an insert matching two free endpoints, an insert that
+// changes no matching (some endpoint matched, no free heavy endpoint) and
+// a delete of an unmatched edge touch exactly {u, v} plus, for mirror
+// heaviness reads, their current mates — those vertex ids are the
+// exclusive keys, and such updates commute whenever the key sets are
+// disjoint (per-vertex storage lists, H entries and statistics writes all
+// key by those vertices). A delete of a matched edge or an insert with a
+// free heavy endpoint cascades through rematch/surrogate scans whose
+// reach is data-dependent, so it runs Solo; §4 mode is always Solo (its
+// counter flush and augmenting sweep read global state).
+//
+// Budgeted claims: MC's per-round word cap pays every flow's stats and
+// storage messages plus the need-to-know H suffixes — estimated from the
+// live cursor staleness of the machines this update contacts plus the
+// mean storage suffix its end-of-update round-robin refresh will ship.
+// Statistics and home storage machines get small claims so a wave cannot
+// funnel unbounded traffic through one machine. An update predicted to
+// cross the heavy threshold additionally takes the exclusive transition
+// key: transitions hold fresh exclusive machines transiently, so at most
+// one per wave keeps the storage pool within its sequential envelope.
+func (m *M) batchItem(batch graph.Batch) func(i, meanSuffix int) sched.Item {
+	c := m.coord
+	const transitionKey = int64(-1) // vertex ids are >= 0
+	return func(i, meanSuffix int) sched.Item {
+		up := batch[i]
+		u, v := int32(up.U), int32(up.V)
+		if u == v {
+			return sched.Item{Excl: []int64{int64(u)}} // no-op at MC
+		}
+		if c.threeHalves {
+			return sched.Item{Solo: true}
+		}
+		su, sv := m.statPeek(u), m.statPeek(v)
+		if up.Op == graph.Delete {
+			if su.mate == v {
+				return sched.Item{Solo: true} // unmatch + rematch both ends
+			}
+		} else {
+			uFree, vFree := su.mate < 0, sv.mate < 0
+			uHeavy := su.heavy || int(su.deg)+1 >= c.heavyAt // transitionUp runs before the case analysis
+			vHeavy := sv.heavy || int(sv.deg)+1 >= c.heavyAt
+			if !(uFree && vFree) && ((uFree && uHeavy) || (vFree && vHeavy)) {
+				return sched.Item{Solo: true} // surrogate chain
+			}
+		}
+		excl := []int64{int64(u), int64(v)}
+		if su.mate >= 0 {
+			excl = append(excl, int64(su.mate))
+		}
+		if sv.mate >= 0 && sv.mate != su.mate {
+			excl = append(excl, int64(sv.mate))
+		}
+		mcCost := 128 + 4*meanSuffix
+		var shared []sched.Claim
+		addHome := func(s stat, deg int32) {
+			if s.home < 0 {
+				return
+			}
+			cost := 2 * edgeWords
+			mcCost += 4 * c.suffixLen(s.home)
+			if transitionPredicted(s, up.Op == graph.Delete, c.heavyAt) {
+				cost += edgeWords * int(deg) // cMoveOut ships the whole list
+				excl = append(excl, transitionKey)
+			}
+			shared = append(shared, sched.Claim{Key: int64(s.home), Cost: cost})
+		}
+		addHome(su, su.deg)
+		addHome(sv, sv.deg)
+		shared = append(shared,
+			sched.Claim{Key: 0, Cost: mcCost},
+			sched.Claim{Key: int64(c.statsOf(u)), Cost: 32},
+			sched.Claim{Key: int64(c.statsOf(v)), Cost: 32},
+		)
+		return sched.Item{Excl: excl, Shared: shared}
+	}
+}
+
+// transitionPredicted reports whether the update will cross v's heavy
+// threshold (transitionUp on insert, transitionDown on delete).
+func transitionPredicted(s stat, del bool, heavyAt int) bool {
+	if del {
+		return s.heavy && int(s.deg)-1 < heavyAt
+	}
+	return !s.heavy && int(s.deg)+1 >= heavyAt
+}
+
+// statPeek reads v's authoritative stat driver-side without mutating the
+// statistics machine (oracle access; the protocol path is cStatsReq).
+func (m *M) statPeek(v int32) stat {
+	return m.stats[int(v)/m.coord.statsPer].peek(v)
+}
+
+// ApplyBatchChained is the PR 1 coordinator-chaining batch path, retained
+// as the baseline the wave scheduler is benchmarked against (see
+// cmd/dmpcbench -shard and BENCH_0004.json): all k updates are injected at
+// MC in a single round and executed strictly in order, each update's first
+// requests chained into the round the previous update finishes, so only
+// the injection round and the set/refresh ack tail are shared. Semantics
+// are identical to ApplyBatch; only the scheduling (and hence the
+// amortized round count) differs.
+func (m *M) ApplyBatchChained(batch graph.Batch) mpc.BatchStats {
+	m.coord.serialize = true
+	defer func() { m.coord.serialize = false }()
 	m.cluster.BeginBatch(len(batch))
 	for _, up := range batch {
 		m.seq++
-		m.cluster.Send(mpc.Message{
-			From: -1, To: 0,
-			Payload: cmsg{Kind: cUpdate, A: int32(up.U), B: int32(up.V), Seq: m.seq, Del: up.Op == graph.Delete},
-			Words:   4,
-		})
+		m.inject(up, m.seq)
 	}
 	limit := 80*len(batch) + 16
 	if m.cluster.Run(limit); !m.cluster.Quiescent() {
@@ -228,7 +466,7 @@ func (m *M) MateOfBatch(vs []int) []int {
 func (m *M) MateTable() []int {
 	out := make([]int, m.cfg.N)
 	for v := 0; v < m.cfg.N; v++ {
-		out[v] = int(m.stats[v/m.coord.statsPer].get(int32(v)).mate)
+		out[v] = int(m.statPeek(int32(v)).mate)
 	}
 	return out
 }

@@ -7,14 +7,20 @@ import (
 )
 
 // FuzzBatchEquivalence is the property-based equivalence harness for the §3
-// batch pipeline: any update sequence, any chunking, and the coordinator-
-// chained batch must produce the exact matching of sequential replay (dmm's
-// case analysis is deterministic, so equality is edge-for-edge). The raw
-// bytes decode through graph.FuzzStreamWellFormed: dmm's degree bookkeeping
-// assumes the standard well-formed stream contract (no duplicate inserts,
-// no deletes of absent edges — see the startInsert comment), so the decoder
-// enforces it while redirecting bogus deletes onto present edges to keep
-// delete coverage high.
+// batch pipeline: any update sequence, any chunking, and the wave-scheduled
+// batch (phase-parallel flows for endpoint-disjoint updates, chained runs
+// for serial stretches) must produce the exact matching of sequential
+// replay (dmm's case analysis is deterministic, so equality is
+// edge-for-edge). The raw bytes decode through graph.FuzzStreamWellFormed:
+// dmm's degree bookkeeping assumes the standard well-formed stream contract
+// (no duplicate inserts, no deletes of absent edges — see the startInsert
+// comment), so the decoder enforces it while redirecting bogus deletes onto
+// present edges to keep delete coverage high.
+//
+// The seeded corpus mixes conflict-heavy streams with endpoint-disjoint-
+// heavy ones (pairs (0,1),(2,3),... inserted, re-covered, deleted): the
+// latter drive the widest waves through the parallel path, the regime the
+// scheduler exists for.
 //
 // Run the full fuzzer with:
 //
@@ -23,6 +29,19 @@ func FuzzBatchEquivalence(f *testing.F) {
 	f.Add(byte(1), []byte("abcabdacd"))
 	f.Add(byte(5), []byte("0120340516273809"))
 	f.Add(byte(32), []byte("ABCABDABEACD!bcd!ace02460135"))
+	// Endpoint-disjoint-heavy: ten disjoint matched pairs, then disjoint
+	// deletes of exactly those pairs (solo cascades after wide waves).
+	f.Add(byte(16), []byte("\x00\x00\x01\x00\x02\x03\x00\x04\x05\x00\x06\x07\x00\x08\x09"+
+		"\x00\x0a\x0b\x00\x0c\x0d\x00\x0e\x0f\x00\x10\x11\x00\x12\x13"+
+		"\x01\x00\x01\x01\x02\x03\x01\x04\x05\x01\x06\x07\x01\x08\x09"+
+		"\x01\x0a\x0b\x01\x0c\x0d\x01\x0e\x0f\x01\x10\x11\x01\x12\x13"))
+	// Disjoint matched pairs, then disjoint non-matching inserts bridging
+	// them, then disjoint deletes of those unmatched bridges — simple
+	// updates throughout, the widest-wave regime.
+	f.Add(byte(63), []byte("\x00\x00\x01\x00\x02\x03\x00\x04\x05\x00\x06\x07\x00\x08\x09"+
+		"\x00\x0a\x0b\x00\x0c\x0d\x00\x0e\x0f\x00\x10\x11\x00\x12\x13"+
+		"\x00\x01\x02\x00\x03\x04\x00\x05\x06\x00\x07\x08\x00\x09\x0a"+
+		"\x01\x01\x02\x01\x03\x04\x01\x05\x06\x01\x07\x08\x01\x09\x0a"))
 	f.Fuzz(func(t *testing.T, sel byte, data []byte) {
 		const n = 20
 		if len(data) > 300 { // 100 updates keeps a fuzz iteration fast

@@ -36,6 +36,20 @@ func (s *statsMachine) get(v int32) *stat {
 	return st
 }
 
+// peek returns a copy of v's scalar stat fields without allocating
+// authoritative state for a never-touched vertex — the read the
+// driver-side batch scheduler and the MateTable oracle use. The suspended
+// list is withheld (nil) rather than copied: no peek caller reads it, and
+// handing out the live slice would alias machine state.
+func (s *statsMachine) peek(v int32) stat {
+	if st, ok := s.stats[v]; ok {
+		cp := *st
+		cp.suspended = nil
+		return cp
+	}
+	return stat{mate: -1, home: -1}
+}
+
 func (s *statsMachine) HandleRound(ctx *mpc.Ctx, inbox []mpc.Message) {
 	for _, raw := range inbox {
 		m, ok := raw.Payload.(cmsg)

@@ -10,8 +10,6 @@ import (
 // messages bound communication by O(√N) words per round.
 
 func (c *coordinator) startUpdate(ctx *mpc.Ctx, m cmsg) {
-	c.busy = true
-	c.updSeq = m.Seq
 	if m.A == m.B {
 		c.updateDone(ctx)
 		return

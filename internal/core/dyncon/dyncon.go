@@ -45,6 +45,7 @@ import (
 	"dmpc/internal/etour"
 	"dmpc/internal/graph"
 	"dmpc/internal/mpc"
+	"dmpc/internal/sched"
 )
 
 // Mode selects plain connectivity or minimum-spanning-tree maintenance.
@@ -172,14 +173,17 @@ func (d *D) inject(up graph.Update, seq int64) {
 }
 
 // ApplyBatch processes a batch of updates in one shared round-accounting
-// window using the conflict-graph wave scheduler: the conflict graph over
-// the *whole* remaining batch (updates conflict iff their endpoint
-// components intersect at schedule time, read driver-side) is precedence-
-// colored, and the first color class — every update with no earlier
-// conflicting update — runs as one component-disjoint concurrent wave
+// window using the shared wave scheduler (internal/sched): each pending
+// update's resources are read driver-side — its two endpoint component
+// labels as exclusive keys (semantic conflicts: overlapping updates must
+// stay ordered) and its orchestrator machine as a budgeted claim (resource
+// conflict: concurrent orchestrations on one machine are fine until their
+// worst-round words would blow the per-round cap S) — and the first
+// precedence color class runs as one component-disjoint concurrent wave
 // through the §5 protocol. Because executing a wave merges and splits
-// components, conflicts are recomputed from live component labels between
-// waves; later color classes are only a prediction (see graph.ConflictGraph).
+// components, sched.Drive recomputes the items from live component labels
+// between waves; later color classes are only a prediction (see
+// sched.ConflictGraph).
 //
 // Correctness rests on two facts. Commutativity: the per-shard
 // orchestration state is keyed by update sequence number and every
@@ -192,6 +196,13 @@ func (d *D) inject(up graph.Update, seq int64) {
 // final forest and labeling therefore equal sequential application, while
 // a wave of w updates costs the rounds of one update instead of w.
 //
+// The per-op orchestrator cost distinguishes updates that broadcast a
+// shift descriptor to all µ machines (links, cuts, MST cycle checks) from
+// updates that stay O(1)-machine local (non-tree adds and deletes, no-ops):
+// the latter pack onto a shared orchestrator nearly freely, the former
+// claim most of the machine's per-round word budget — the PR 3 follow-on
+// that used to serialize *any* two updates sharing owner(U) mod µ.
+//
 // Unlike the greedy-prefix packer (ApplyBatchPrefix, kept for comparison),
 // one early conflicting pair no longer caps the wave width: independent
 // updates from anywhere in the batch pack into the same wave.
@@ -203,45 +214,64 @@ func (d *D) ApplyBatch(batch graph.Batch) mpc.BatchStats {
 	// schedule bit-identical to sequential replay.
 	base := d.seq
 	d.seq += int64(len(batch))
-	pending := make([]int, len(batch))
-	for i := range pending {
-		pending[i] = i
-	}
-	for len(pending) > 0 {
-		// Conflict keys: the two endpoint component labels (semantic
-		// conflicts — overlapping updates must stay ordered) plus the
-		// orchestrator machine, encoded in the negative key space (resource
-		// conflict — two broadcasts from one machine in one round would
-		// blow the per-round word cap S, not correctness). Only the first
-		// color class is ever executed before conflicts are recomputed, so
-		// the one-pass FirstWave form replaces the full graph build and
-		// coloring on this hot path (graph.ConflictGraph documents the
-		// equivalence).
-		wave := graph.FirstWave(len(pending), func(i int) []int64 {
-			up := batch[pending[i]]
-			return []int64{d.CompOf(up.U), d.CompOf(up.V), -int64(d.owner(up.U)) - 1}
-		})
-		d.runWave(batch, base, pending, wave)
-		// Drop the executed wave (ascending positions) from pending.
-		kept := pending[:0]
-		w := 0
-		for i, b := range pending {
-			if w < len(wave) && wave[w] == i {
-				w++
-				continue
-			}
-			kept = append(kept, b)
+	// Worst orchestration round of a broadcasting update: a 3-shift
+	// descriptor to every machine, plus slack for the same round's O(1)
+	// point-to-point traffic.
+	bcast := (16+5*3)*len(d.shards) + 32
+	item := func(i int) sched.Item {
+		up := batch[i]
+		cost := 32 // info/size requests and non-tree record traffic, all O(1) words
+		if d.broadcasts(up) {
+			cost = bcast
 		}
-		pending = kept
+		return sched.Item{
+			Excl:   []int64{d.CompOf(up.U), d.CompOf(up.V)},
+			Shared: []sched.Claim{{Key: int64(d.owner(up.U)), Cost: cost}},
+		}
 	}
+	sched.Drive(len(batch), item, d.cluster.MemWords(), func(wave []int) {
+		d.runWave(batch, base, wave)
+	})
 	return d.cluster.EndBatch()
 }
 
-// runWave injects the scheduled wave (positions into pending) concurrently
-// and drives the cluster to quiescence inside a per-wave attribution
-// window. The test-only wavePerm hook permutes the injection order, backing
-// the permutation-commutativity property test.
-func (d *D) runWave(batch graph.Batch, base int64, pending, wave []int) {
+// broadcasts predicts, from driver-side oracle state at schedule time,
+// whether the §5 orchestration of up includes a cluster-wide broadcast
+// round: links (components differ), cuts (deleting a tree edge), and MST
+// cycle checks all broadcast; non-tree adds and deletes, duplicates and
+// no-ops touch O(1) machines with O(1) words. The prediction stays valid
+// through the wave because wave members are component-disjoint: no wave
+// peer can move the edge between tree and non-tree or merge the endpoint
+// components.
+func (d *D) broadcasts(up graph.Update) bool {
+	if up.U == up.V {
+		return false
+	}
+	e := graph.NormEdge(up.U, up.V)
+	sh := d.shards[d.owner(up.U)] // owner of U holds every record incident to U
+	if up.Op == graph.Delete {
+		_, isTree := sh.tree[e]
+		return isTree
+	}
+	if _, dup := sh.tree[e]; dup {
+		return false
+	}
+	if _, dup := sh.nontree[e]; dup {
+		return false
+	}
+	if d.CompOf(up.U) != d.CompOf(up.V) {
+		return true // link broadcast
+	}
+	// Same component: CC stores a non-tree record locally; MST broadcasts
+	// the cycle check (and possibly a swap cut plus relink).
+	return d.cfg.Mode == MST
+}
+
+// runWave injects the scheduled wave (batch indices) concurrently and
+// drives the cluster to quiescence inside a per-wave attribution window.
+// The test-only wavePerm hook permutes the injection order, backing the
+// permutation-commutativity property test.
+func (d *D) runWave(batch graph.Batch, base int64, wave []int) {
 	order := wave
 	if d.wavePerm != nil {
 		order = append([]int(nil), wave...)
@@ -249,7 +279,7 @@ func (d *D) runWave(batch graph.Batch, base int64, pending, wave []int) {
 	}
 	d.cluster.BeginWave(len(wave))
 	for _, i := range order {
-		d.inject(batch[pending[i]], base+int64(pending[i])+1)
+		d.inject(batch[i], base+int64(i)+1)
 	}
 	d.cluster.Drain(64, fmt.Sprintf("dyncon: batch wave of %d updates", len(wave)))
 	d.cluster.EndWave()

@@ -128,10 +128,14 @@ func (u *UpdateStats) Add(r RoundStats) {
 // set of updates the algorithm executed simultaneously because they were
 // pairwise conflict-free at schedule time. Wave widths are the direct
 // measure of how much parallelism the batch scheduler extracted — a batch
-// whose waves are all width 1 degenerates to sequential replay.
+// whose waves are all width 1 degenerates to sequential replay — and the
+// word columns expose how close a wave's packing came to the per-round cap
+// S, the budget the shared scheduler (internal/sched) packs against.
 type WaveStats struct {
-	Updates int // wave width: updates executed concurrently in this wave
-	Rounds  int // rounds attributed to this wave
+	Updates  int // wave width: updates executed concurrently in this wave
+	Rounds   int // rounds attributed to this wave
+	SumWords int // words communicated over the wave's rounds
+	MaxWords int // peak words in any round of the wave
 }
 
 // BatchStats aggregates the rounds spent processing one batch of k dynamic
@@ -646,8 +650,12 @@ func (c *Cluster) Round() RoundStats {
 	if c.stats.currentBatch != nil {
 		c.stats.currentBatch.Add(rs)
 	}
-	if c.stats.currentWave != nil {
-		c.stats.currentWave.Rounds++
+	if w := c.stats.currentWave; w != nil {
+		w.Rounds++
+		w.SumWords += rs.Words
+		if rs.Words > w.MaxWords {
+			w.MaxWords = rs.Words
+		}
 	}
 	if c.stats.currentQuery != nil {
 		c.stats.currentQuery.Add(rs)
