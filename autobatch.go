@@ -1,10 +1,14 @@
 package dmpc
 
 // AutoBatcher is the adaptive batch-sizing driver deferred by PR 1: it
-// feeds an update stream through an ApplyBatch function while growing or
+// feeds an op stream through an ApplyBatch function (update-only streams)
+// or a Pipeline front door (mixed update/query streams) while growing or
 // shrinking the chunk size k online against the measured amortized rounds
-// per update, seeking the knee of the k-vs-rounds curve without the caller
-// having to pick k.
+// per op, seeking the knee of the k-vs-rounds curve without the caller
+// having to pick k. On mixed streams the measurement is the mixed
+// window's rounds over its ops — both halves — so k is sized for the
+// workload actually flowing, not for its write side alone, and the word
+// cap watches the peak round of either half.
 //
 // Policy (deterministic, no randomness):
 //
@@ -50,6 +54,7 @@ package dmpc
 //     comparable against full batches.
 type AutoBatcher struct {
 	apply        func(Batch) BatchStats
+	applyOps     func([]Op) (Results, MixedStats)
 	capWords     int
 	minK         int
 	maxK         int
@@ -69,9 +74,10 @@ type AutoBatcher struct {
 	// accumulators of the in-progress probe window at the current k
 	winRounds, winUpdates, winBatches int
 
-	buf     []Update
+	buf     []Op
 	history []BatchStats
-	ks      []int // chunk size used for each recorded batch
+	mixed   []MixedStats // mixed-mode counterpart of history, index-aligned
+	ks      []int        // chunk size used for each recorded batch
 }
 
 // AutoBatcherConfig configures NewAutoBatcher. Apply is required; zero
@@ -79,7 +85,13 @@ type AutoBatcher struct {
 type AutoBatcherConfig struct {
 	// Apply runs one batch and returns its shared-window accounting —
 	// typically the ApplyBatch method of a structure in this package.
+	// Exactly one of Apply and ApplyOps must be set.
 	Apply func(Batch) BatchStats
+	// ApplyOps runs one mixed op chunk and returns its answers and mixed
+	// accounting — typically the Apply method of a Pipeline. Setting it
+	// makes the batcher accept queries (PushOp/RunOps) and size k on the
+	// amortized rounds per *op*.
+	ApplyOps func([]Op) (Results, MixedStats)
 	// CapWords is the cluster-wide per-round word budget (naturally µ·S);
 	// a batch observing MaxWords above it forces k to halve. 0 disables
 	// cap feedback.
@@ -109,11 +121,12 @@ type AutoBatcherConfig struct {
 // NewAutoBatcher builds the driver. It panics if cfg.Apply is nil or the
 // clamps are inconsistent.
 func NewAutoBatcher(cfg AutoBatcherConfig) *AutoBatcher {
-	if cfg.Apply == nil {
-		panic("dmpc: AutoBatcher needs an Apply function")
+	if (cfg.Apply == nil) == (cfg.ApplyOps == nil) {
+		panic("dmpc: AutoBatcher needs exactly one of Apply and ApplyOps")
 	}
 	ab := &AutoBatcher{
 		apply:        cfg.Apply,
+		applyOps:     cfg.ApplyOps,
 		capWords:     cfg.CapWords,
 		minK:         cfg.MinK,
 		maxK:         cfg.MaxK,
@@ -174,35 +187,73 @@ func (ab *AutoBatcher) clamp(k int) int {
 func (ab *AutoBatcher) K() int { return ab.k }
 
 // History returns the accounting of every batch applied so far, and Ks the
-// chunk size each of those batches was scheduled at.
+// chunk size each of those batches was scheduled at. In mixed mode each
+// entry is the corresponding mixed window's update half; MixedHistory has
+// the full windows.
 func (ab *AutoBatcher) History() []BatchStats { return ab.history }
+
+// MixedHistory returns the mixed accounting of every chunk applied through
+// ApplyOps, index-aligned with History and Ks. Nil in update-only mode.
+func (ab *AutoBatcher) MixedHistory() []MixedStats { return ab.mixed }
 
 // Ks returns the chunk size used for each recorded batch, index-aligned
 // with History.
 func (ab *AutoBatcher) Ks() []int { return ab.ks }
 
-// Push buffers one update, applying a batch when the buffer reaches K. It
-// returns the batch's accounting and true when a batch was applied.
+// Push buffers one update, applying a chunk when the buffer reaches K. It
+// returns the chunk's update-half accounting and true when one was
+// applied. (In mixed mode, PushOp additionally returns the answers.)
 func (ab *AutoBatcher) Push(up Update) (BatchStats, bool) {
-	ab.buf = append(ab.buf, up)
-	if len(ab.buf) < ab.k {
-		return BatchStats{}, false
+	_, st, ok := ab.PushOp(OpOf(up))
+	return st, ok
+}
+
+// PushOp buffers one op (update or query; queries need ApplyOps mode),
+// applying a chunk when the buffer reaches K. It returns the answers to
+// the chunk's queries, the update half's accounting, and true when a
+// chunk was applied.
+func (ab *AutoBatcher) PushOp(op Op) (Results, BatchStats, bool) {
+	if op.IsQuery() && ab.applyOps == nil {
+		panic("dmpc: AutoBatcher built with Apply cannot ingest queries (set ApplyOps)")
 	}
-	return ab.flush(true), true
+	ab.buf = append(ab.buf, op)
+	if len(ab.buf) < ab.k {
+		return nil, BatchStats{}, false
+	}
+	res, st := ab.flush(true)
+	return res, st, true
 }
 
 // Flush applies whatever the buffer holds. It reports false if the buffer
-// was empty. A flushed buffer is always a partial batch — Push applies the
-// batch the moment the buffer reaches K — so Flush never drives adaptation.
+// was empty. A flushed buffer is always a partial chunk — Push applies the
+// chunk the moment the buffer reaches K — so Flush never drives adaptation.
+// Flush has no way to return query answers, so it panics if the buffer
+// holds any (they would be silently lost); drain mixed tails with
+// FlushOps instead.
 func (ab *AutoBatcher) Flush() (BatchStats, bool) {
-	if len(ab.buf) == 0 {
-		return BatchStats{}, false
+	for _, op := range ab.buf {
+		if op.IsQuery() {
+			panic("dmpc: AutoBatcher.Flush would discard buffered query answers (use FlushOps)")
+		}
 	}
-	return ab.flush(false), true
+	_, st, ok := ab.FlushOps()
+	return st, ok
 }
 
-// Run pushes the whole stream and flushes the tail, returning the
-// accounting of every batch applied.
+// FlushOps applies whatever the buffer holds, returning the answers to
+// the flushed chunk's queries alongside the update half's accounting. It
+// reports false if the buffer was empty, and like Flush never drives
+// adaptation.
+func (ab *AutoBatcher) FlushOps() (Results, BatchStats, bool) {
+	if len(ab.buf) == 0 {
+		return nil, BatchStats{}, false
+	}
+	res, st := ab.flush(false)
+	return res, st, true
+}
+
+// Run pushes the whole update stream and flushes the tail, returning the
+// accounting of every chunk applied.
 func (ab *AutoBatcher) Run(updates []Update) []BatchStats {
 	start := len(ab.history)
 	for _, up := range updates {
@@ -212,23 +263,54 @@ func (ab *AutoBatcher) Run(updates []Update) []BatchStats {
 	return ab.history[start:]
 }
 
-func (ab *AutoBatcher) flush(full bool) BatchStats {
-	batch := Batch(append([]Update(nil), ab.buf...))
+// RunOps pushes a whole mixed op stream and flushes the tail, returning
+// every answer in stream order (needs ApplyOps mode).
+func (ab *AutoBatcher) RunOps(ops []Op) Results {
+	var out Results
+	for _, op := range ops {
+		res, _, _ := ab.PushOp(op)
+		out = append(out, res...)
+	}
+	res, _, _ := ab.FlushOps()
+	return append(out, res...)
+}
+
+func (ab *AutoBatcher) flush(full bool) (Results, BatchStats) {
+	chunk := append([]Op(nil), ab.buf...)
 	ab.buf = ab.buf[:0]
+	if ab.applyOps != nil {
+		res, st := ab.applyOps(chunk)
+		ab.mixed = append(ab.mixed, st)
+		ab.history = append(ab.history, st.Updates)
+		ab.ks = append(ab.ks, ab.k)
+		if full {
+			maxWords := st.Updates.MaxWords
+			if st.Queries.MaxWords > maxWords {
+				maxWords = st.Queries.MaxWords
+			}
+			ab.adapt(st.Rounds(), st.Ops, maxWords)
+		}
+		return res, st.Updates
+	}
+	batch := make(Batch, len(chunk))
+	for i, op := range chunk {
+		batch[i] = op.Update()
+	}
 	st := ab.apply(batch)
 	ab.history = append(ab.history, st)
 	ab.ks = append(ab.ks, ab.k)
 	if full {
-		ab.adapt(st)
+		ab.adapt(st.Rounds, st.Updates, st.MaxWords)
 	}
-	return st
+	return nil, st
 }
 
-// adapt folds one full batch into the current probe window and, when the
-// window is complete, runs the knee-search step on the windowed amortized
-// rounds/update.
-func (ab *AutoBatcher) adapt(st BatchStats) {
-	if ab.capWords > 0 && st.MaxWords > ab.capWords {
+// adapt folds one full chunk (rounds over units ops/updates, with the
+// peak round's words) into the current probe window and, when the window
+// is complete, runs the knee-search step on the windowed amortized
+// rounds per unit.
+func (ab *AutoBatcher) adapt(rounds, units, maxWords int) {
+	if ab.capWords > 0 && maxWords > ab.capWords {
 		// The S cap binds before the round curve does: back off
 		// immediately (discarding the in-progress window), stop probing
 		// upward and never re-probe — growth from here would walk back
@@ -262,8 +344,8 @@ func (ab *AutoBatcher) adapt(st BatchStats) {
 		ab.warmup--
 		return // empty-structure transient: apply, don't measure
 	}
-	ab.winRounds += st.Rounds
-	ab.winUpdates += st.Updates
+	ab.winRounds += rounds
+	ab.winUpdates += units
 	ab.winBatches++
 	if ab.winBatches < ab.probeBatches {
 		return // window still filling

@@ -331,3 +331,136 @@ func TestAutoBatcherOnConnectivity(t *testing.T) {
 		t.Fatalf("%d cluster constraint violations under AutoBatcher", v)
 	}
 }
+
+// TestAutoBatcherMixedStream pins the mixed-mode driver: a half-reads op
+// stream flows through a Pipeline front door, the knee search still grows
+// k (now judged on amortized rounds per *op*), every query is answered
+// exactly as a fresh sequential replica answers it, and the growing
+// trajectory beats the starting chunk size on rounds/op.
+func TestAutoBatcherMixedStream(t *testing.T) {
+	const n = 96
+	rng := rand.New(rand.NewSource(6))
+	updates := graph.RandomStream(n, 384, 0.55, 1, rng)
+	ops := graph.MixedStream(updates, 0.5, func(r *rand.Rand) Op {
+		return OpQConnected(r.Intn(n), r.Intn(n))
+	}, rng)
+
+	cc := NewConnectivity(n, 5*n)
+	ab := NewAutoBatcher(AutoBatcherConfig{
+		ApplyOps: cc.Apply,
+		CapWords: cc.Cluster().Machines() * cc.Cluster().MemWords(),
+		StartK:   8,
+		MaxK:     256,
+	})
+	got := ab.RunOps(ops)
+
+	grew := false
+	for _, k := range ab.Ks() {
+		if k > 8 {
+			grew = true
+		}
+	}
+	if !grew {
+		t.Fatalf("mixed AutoBatcher never grew k: trajectory %v", ab.Ks())
+	}
+	if len(ab.MixedHistory()) != len(ab.History()) || len(ab.Ks()) != len(ab.History()) {
+		t.Fatalf("histories misaligned: %d mixed, %d batch, %d ks",
+			len(ab.MixedHistory()), len(ab.History()), len(ab.Ks()))
+	}
+
+	// Bit-identical answers vs sequential replay at the same positions.
+	ref := NewConnectivity(n, 5*n)
+	var want Results
+	for _, op := range ops {
+		switch op.Kind {
+		case OpInsert:
+			ref.Insert(op.U, op.V)
+		case OpDelete:
+			ref.Delete(op.U, op.V)
+		case OpConnected:
+			want = append(want, Answer{Bool: ref.Connected(op.U, op.V)})
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%d answers, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("answer %d is %+v, want %+v", i, got[i], want[i])
+		}
+	}
+
+	var rounds, opsN int
+	for _, st := range ab.MixedHistory() {
+		rounds += st.Rounds()
+		opsN += st.Ops
+	}
+	auto := float64(rounds) / float64(opsN)
+
+	fixed := NewConnectivity(n, 5*n)
+	var fRounds, fOps int
+	for _, chunk := range SplitOps(ops, 8) {
+		_, st := fixed.Apply(chunk)
+		fRounds += st.Rounds()
+		fOps += st.Ops
+	}
+	fixed8 := float64(fRounds) / float64(fOps)
+	if auto >= fixed8 {
+		t.Fatalf("adaptive rounds/op %.3f not better than fixed k=8 %.3f (trajectory %v)", auto, fixed8, ab.Ks())
+	}
+	if v := cc.Cluster().Stats().Violations; v != 0 {
+		t.Fatalf("%d cluster violations", v)
+	}
+}
+
+// TestAutoBatcherModeGuards pins the configuration contract: exactly one
+// of Apply and ApplyOps, and queries only in ApplyOps mode.
+func TestAutoBatcherModeGuards(t *testing.T) {
+	wantPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	wantPanic("neither mode", func() { NewAutoBatcher(AutoBatcherConfig{}) })
+	wantPanic("both modes", func() {
+		NewAutoBatcher(AutoBatcherConfig{
+			Apply:    func(Batch) BatchStats { return BatchStats{} },
+			ApplyOps: func([]Op) (Results, MixedStats) { return nil, MixedStats{} },
+		})
+	})
+	ab := NewAutoBatcher(AutoBatcherConfig{Apply: func(Batch) BatchStats { return BatchStats{} }})
+	wantPanic("query in update mode", func() { ab.PushOp(OpQMateOf(1)) })
+}
+
+// TestAutoBatcherFlushOps pins the mixed-tail contract: FlushOps returns
+// the partial chunk's answers, and Flush refuses to discard them.
+func TestAutoBatcherFlushOps(t *testing.T) {
+	cc := NewConnectivity(16, 64)
+	ab := NewAutoBatcher(AutoBatcherConfig{ApplyOps: cc.Apply, StartK: 8})
+	ab.PushOp(OpIns(0, 1, 1))
+	ab.PushOp(OpQConnected(0, 1))
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("Flush with buffered queries did not panic")
+			}
+		}()
+		ab.Flush()
+	}()
+	res, st, ok := ab.FlushOps()
+	if !ok || len(res) != 1 || !res[0].Bool || st.Updates != 1 {
+		t.Fatalf("FlushOps = (%v, %+v, %v), want the buffered query answered", res, st, ok)
+	}
+	if _, _, ok := ab.FlushOps(); ok {
+		t.Fatal("FlushOps on an empty buffer reported a flush")
+	}
+	// Update-only tails still drain through plain Flush.
+	ab.PushOp(OpIns(1, 2, 1))
+	if _, ok := ab.Flush(); !ok {
+		t.Fatal("Flush on an update-only tail failed")
+	}
+}

@@ -449,6 +449,192 @@ func printAutoTable(rows []autoRow) {
 	fmt.Println(" halves k whenever the cluster-wide word budget is exceeded)")
 }
 
+// --- unified op pipeline: in-wave reads vs quiescence --------------------
+
+// mixedRow compares the unified op pipeline (ApplyOps: reads sequenced
+// into the update waves) against the quiescence baseline on the same
+// mixed op stream, chunked at k ops. The baseline answers the *same*
+// queries at the *same* stream positions — the only way to do that
+// without in-wave scheduling is to split each chunk at its read runs:
+// apply every maximal update run through ApplyBatch, then quiesce and
+// answer the following read run through the batched query path. (Moving
+// all reads to the chunk boundary would be cheaper but answers different
+// queries — chunk-end state instead of stream-position state — so it is
+// not a baseline for the same workload.) Both paths therefore return
+// bit-identical Results; only the round bill differs. FreeRides counts
+// the reads that shared an update-bearing wave — the reads whose rounds
+// cost nothing.
+type mixedRow struct {
+	Name            string  `json:"name"`
+	K               int     `json:"k"`
+	Ops             int     `json:"ops"`
+	Updates         int     `json:"updates"`
+	Queries         int     `json:"queries"`
+	InwavePerOp     float64 `json:"inwave_rounds_per_op"`
+	QuiescencePerOp float64 `json:"quiescence_rounds_per_op"`
+	Ratio           float64 `json:"inwave_over_quiescence"`
+	QueryHalf       int     `json:"inwave_query_half_rounds"`
+	FreeRides       int     `json:"reads_riding_update_waves"`
+}
+
+// mixedRunner builds fresh instances of one algorithm's two mixed paths:
+// the unified pipeline, and the split quiescence path (batch updates,
+// then batched reads).
+type mixedRunner struct {
+	name    string
+	mkQuery func(rng *rand.Rand) graph.Op
+	mk      func() (inwave func([]graph.Op) (graph.Results, mpc.MixedStats), inStats func() *mpc.Stats,
+		base func(graph.Batch) mpc.BatchStats, baseReads func([]graph.Op), baseStats func() *mpc.Stats)
+}
+
+func mixedRunners(n, capEdges int) []mixedRunner {
+	// amm is absent on purpose: its reads require settle-and-cycle
+	// barriers (no bit-equivalence contract), so it has no in-wave read
+	// path to compare — its Pipeline front door exists for API uniformity.
+	return []mixedRunner{
+		{"Connected comps (§5)",
+			func(rng *rand.Rand) graph.Op { return graph.OpQConnected(rng.Intn(n), rng.Intn(n)) },
+			func() (func([]graph.Op) (graph.Results, mpc.MixedStats), func() *mpc.Stats, func(graph.Batch) mpc.BatchStats, func([]graph.Op), func() *mpc.Stats) {
+				a := dyncon.New(dyncon.Config{N: n, Mode: dyncon.CC, ExpectedEdges: capEdges})
+				b := dyncon.New(dyncon.Config{N: n, Mode: dyncon.CC, ExpectedEdges: capEdges})
+				return a.ApplyOps, func() *mpc.Stats { return a.Cluster().Stats() },
+					b.ApplyBatch, dynconReads(b), func() *mpc.Stats { return b.Cluster().Stats() }
+			}},
+		{"(1+ε)-MST (§5.1)",
+			func(rng *rand.Rand) graph.Op { return graph.OpQConnected(rng.Intn(n), rng.Intn(n)) },
+			func() (func([]graph.Op) (graph.Results, mpc.MixedStats), func() *mpc.Stats, func(graph.Batch) mpc.BatchStats, func([]graph.Op), func() *mpc.Stats) {
+				a := dyncon.New(dyncon.Config{N: n, Mode: dyncon.MST, Eps: 0.25, ExpectedEdges: capEdges})
+				b := dyncon.New(dyncon.Config{N: n, Mode: dyncon.MST, Eps: 0.25, ExpectedEdges: capEdges})
+				return a.ApplyOps, func() *mpc.Stats { return a.Cluster().Stats() },
+					b.ApplyBatch, dynconReads(b), func() *mpc.Stats { return b.Cluster().Stats() }
+			}},
+		{"Maximal matching (§3)",
+			func(rng *rand.Rand) graph.Op { return graph.OpQMateOf(rng.Intn(n)) },
+			func() (func([]graph.Op) (graph.Results, mpc.MixedStats), func() *mpc.Stats, func(graph.Batch) mpc.BatchStats, func([]graph.Op), func() *mpc.Stats) {
+				a := dmm.New(dmm.Config{N: n, CapEdges: capEdges})
+				b := dmm.New(dmm.Config{N: n, CapEdges: capEdges})
+				baseReads := func(qs []graph.Op) {
+					vs := make([]int, len(qs))
+					for i, q := range qs {
+						vs[i] = q.U
+					}
+					b.MateOfBatch(vs)
+				}
+				return a.ApplyOps, func() *mpc.Stats { return a.Cluster().Stats() },
+					b.ApplyBatch, baseReads, func() *mpc.Stats { return b.Cluster().Stats() }
+			}},
+	}
+}
+
+// dynconReads answers a chunk's reads through dyncon's batched quiescence
+// query path.
+func dynconReads(d *dyncon.D) func([]graph.Op) {
+	return func(qs []graph.Op) {
+		pairs := make([]graph.Pair, len(qs))
+		for i, q := range qs {
+			pairs[i] = graph.Pair{U: q.U, V: q.V}
+		}
+		d.ConnectedBatch(pairs)
+	}
+}
+
+// measureMixedPipeline runs one op stream through both paths at chunk
+// size k and reports the amortized rounds per op of each.
+func measureMixedPipeline(mr mixedRunner, ops []graph.Op, k int) mixedRow {
+	inwave, inStats, base, baseReads, baseStats := mr.mk()
+	row := mixedRow{Name: mr.name, K: k, Ops: len(ops)}
+	row.Updates, row.Queries = graph.CountOps(ops)
+
+	for _, chunk := range graph.SplitOps(ops, k) {
+		inwave(chunk)
+	}
+	var inRounds int
+	for _, m := range inStats().Mixed() {
+		inRounds += m.Rounds()
+		row.QueryHalf += m.Queries.Rounds
+		for _, w := range m.Waves {
+			if w.Updates > 0 {
+				row.FreeRides += w.Queries
+			}
+		}
+	}
+	row.InwavePerOp = float64(inRounds) / float64(len(ops))
+
+	for _, chunk := range graph.SplitOps(ops, k) {
+		// Position-preserving quiescence split: maximal update runs batch,
+		// every read run waits for quiescence.
+		for i := 0; i < len(chunk); {
+			j := i
+			if chunk[i].IsQuery() {
+				for j < len(chunk) && chunk[j].IsQuery() {
+					j++
+				}
+				baseReads(chunk[i:j])
+			} else {
+				for j < len(chunk) && !chunk[j].IsQuery() {
+					j++
+				}
+				b := make(graph.Batch, 0, j-i)
+				for _, op := range chunk[i:j] {
+					b = append(b, op.Update())
+				}
+				base(b)
+			}
+			i = j
+		}
+	}
+	var baseRounds int
+	for _, b := range baseStats().Batches() {
+		baseRounds += b.Rounds
+	}
+	for _, q := range baseStats().Queries() {
+		baseRounds += q.Rounds
+	}
+	row.QuiescencePerOp = float64(baseRounds) / float64(len(ops))
+	row.Ratio = row.InwavePerOp / row.QuiescencePerOp
+	return row
+}
+
+// mixedTable measures the unified pipeline against the quiescence split
+// at op-chunk sizes k ∈ {8, 64, 256} over one mixed stream per algorithm.
+func mixedTable(n, nUpdates int, readfrac float64, seed int64) []mixedRow {
+	capEdges := 6 * n
+	stream := graph.RandomStream(n, nUpdates, 0.55, 50, rand.New(rand.NewSource(seed+100)))
+	var rows []mixedRow
+	for _, mr := range mixedRunners(n, capEdges) {
+		ops := graph.MixedStream(stream, readfrac, mr.mkQuery, rand.New(rand.NewSource(seed+200)))
+		ks := make([]int, 0, 3)
+		for _, k := range []int{8, 64, 256} {
+			if k > len(ops) {
+				k = len(ops)
+			}
+			if len(ks) > 0 && ks[len(ks)-1] == k {
+				continue
+			}
+			ks = append(ks, k)
+		}
+		for _, k := range ks {
+			rows = append(rows, measureMixedPipeline(mr, ops, k))
+		}
+	}
+	return rows
+}
+
+func printMixedTable(rows []mixedRow, readfrac float64) {
+	fmt.Printf("\nUnified op pipeline: in-wave reads vs quiescence split (readfrac %.2f):\n", readfrac)
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "Algorithm\tk\tops\tinwave r/op\tquiescence r/op\tratio\tquery-half rounds\tfree-riding reads\n")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%d\t%d\t%.3f\t%.3f\t%.2f\t%d\t%d/%d\n",
+			r.Name, r.K, r.Ops, r.InwavePerOp, r.QuiescencePerOp, r.Ratio, r.QueryHalf, r.FreeRides, r.Queries)
+	}
+	w.Flush()
+	fmt.Println("(both paths answer the same reads at the same stream positions; the baseline")
+	fmt.Println(" must quiesce at every read run, while the unified pipeline precedence-colors")
+	fmt.Println(" the reads into the update waves — a read sharing an update's wave costs zero")
+	fmt.Println(" extra rounds, which is where the ratio comes from)")
+}
+
 // --- mixed read/write workload -------------------------------------------
 
 // queryRow is one algorithm's mixed-workload measurement at one query
@@ -624,14 +810,15 @@ type benchReport struct {
 	Shard    []shardRow  `json:"conflict_sharding,omitempty"`
 	Auto     []autoRow   `json:"autobatch,omitempty"`
 	Queries  []jsonQuery `json:"queries,omitempty"`
+	Mixed    []mixedRow  `json:"mixed,omitempty"`
 	Sweep    []sweepRow  `json:"sweep,omitempty"`
 }
 
 // buildReport assembles the machine-readable measurement document.
-func buildReport(rows []row, brows []batchRow, shrows []shardRow, arows []autoRow, qrows []queryRow, srows []sweepRow, n, updates, batch, queryUpdK int, readfrac float64, seed int64) benchReport {
+func buildReport(rows []row, brows []batchRow, shrows []shardRow, arows []autoRow, qrows []queryRow, mrows []mixedRow, srows []sweepRow, n, updates, batch, queryUpdK int, readfrac float64, seed int64) benchReport {
 	rep := benchReport{Schema: "dmpcbench/v2", N: n, Updates: updates, Seed: seed, BatchK: batch,
-		Shard: shrows, Auto: arows, Sweep: srows}
-	if len(qrows) > 0 {
+		Shard: shrows, Auto: arows, Mixed: mrows, Sweep: srows}
+	if len(qrows) > 0 || len(mrows) > 0 {
 		rep.ReadFrac = readfrac
 		rep.QueryUpd = queryUpdK
 	}
@@ -709,8 +896,31 @@ func checkBaseline(rep benchReport, path string, tol float64) error {
 				b.Name, b.K, b.AmortizedRounds, wantA, tol*100, path)
 		}
 	}
+	// Mixed-pipeline regression: the in-wave rounds/op may not drift past
+	// the snapshot, and at k >= 64 the in-wave path must still *beat* the
+	// quiescence split outright — the unified-pipeline headline is an
+	// invariant, not just a number.
+	mixedBase := make(map[key]float64, len(want.Mixed))
+	for _, m := range want.Mixed {
+		mixedBase[key{m.Name, m.K}] = m.InwavePerOp
+	}
+	for _, m := range rep.Mixed {
+		wantA, ok := mixedBase[key{m.Name, m.K}]
+		if !ok {
+			continue
+		}
+		matched++
+		if m.InwavePerOp > wantA*(1+tol) {
+			return fmt.Errorf("%s (k=%d): in-wave rounds/op %.3f regressed past snapshot %.3f by more than %.0f%% (%s)",
+				m.Name, m.K, m.InwavePerOp, wantA, tol*100, path)
+		}
+		if m.K >= 64 && m.Ratio >= 1 {
+			return fmt.Errorf("%s (k=%d): in-wave reads no longer beat the quiescence path (ratio %.3f)",
+				m.Name, m.K, m.Ratio)
+		}
+	}
 	if matched == 0 {
-		return fmt.Errorf("%s: no batch rows matched this run (was the snapshot generated with -batch?)", path)
+		return fmt.Errorf("%s: no batch or mixed rows matched this run (was the snapshot generated with -batch/-mixed?)", path)
 	}
 	return nil
 }
@@ -801,6 +1011,7 @@ func main() {
 	doShard := flag.Bool("shard", false, "compare the conflict-graph wave scheduler against the greedy-prefix packer at k in {8,64,256}")
 	doAuto := flag.Bool("autobatch", false, "run the AutoBatcher adaptive batch-sizing driver and report its k trajectory")
 	queries := flag.Int("queries", 0, "measure the mixed read/write workload with up to this many protocol queries per run")
+	doMixed := flag.Bool("mixed", false, "measure the unified op pipeline (in-wave reads) against the quiescence split at k in {8,64,256}")
 	readfrac := flag.Float64("readfrac", 0.5, "target read fraction of the mixed workload")
 	asJSON := flag.Bool("json", false, "emit the measurements as JSON")
 	baseline := flag.String("baseline", "", "committed BENCH_*.json snapshot to compare amortized batch rounds against; exit nonzero on >tolerance regression")
@@ -833,11 +1044,15 @@ func main() {
 	if *queries > 0 {
 		qrows = queryTable(*n, *updates, queryUpdK, *queries, *readfrac, *seed)
 	}
+	var mrows []mixedRow
+	if *doMixed {
+		mrows = mixedTable(*n, *updates, *readfrac, *seed)
+	}
 	var srows []sweepRow
 	if *doSweep {
 		srows = sweepRows(*seed)
 	}
-	rep := buildReport(rows, brows, shrows, arows, qrows, srows, *n, *updates, *batch, queryUpdK, *readfrac, *seed)
+	rep := buildReport(rows, brows, shrows, arows, qrows, mrows, srows, *n, *updates, *batch, queryUpdK, *readfrac, *seed)
 	if *baseline != "" {
 		if err := checkBaseline(rep, *baseline, *tolerance); err != nil {
 			fmt.Fprintln(os.Stderr, "dmpcbench: bench regression:", err)
@@ -862,6 +1077,9 @@ func main() {
 	}
 	if *queries > 0 {
 		printQueryTable(qrows, *readfrac)
+	}
+	if *doMixed {
+		printMixedTable(mrows, *readfrac)
 	}
 	staticBaselines(*n, *seed)
 	if *doSweep {

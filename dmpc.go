@@ -19,25 +19,41 @@
 //   - reduction.NewSim (§7): run any sequential dynamic algorithm in
 //     O(u(N)) rounds on O(1) machines.
 //
-// Beyond the paper, every structure accepts batches of updates through
-// ApplyBatch: a Batch shares one round-accounting window (BatchStats), and
-// the algorithms parallelize non-conflicting updates so the amortized
-// rounds per update drop as the batch grows — the direction of the
-// batch-dynamic follow-ups (Nowicki–Onak, arXiv:2002.07800; Durfee et al.,
-// arXiv:1908.01956). The wave machinery itself — resource-keyed conflict
-// building, order-preserving precedence coloring, per-machine broadcast-
-// budget packing, and the first-wave/recompute loop — lives in the shared
-// internal/sched subsystem that dyncon and dmm both schedule through. The read path is symmetric: every structure
-// answers protocol queries (Connected/ComponentOf, Matched/MateOf) whose
-// rounds are charged to QueryStats windows, and batched queries
-// (ConnectedBatch, MateOfBatch) share one scatter/gather window so the
-// per-query round cost amortizes like update rounds do. Update and query
-// windows are mutually exclusive in the simulator, so rounds can never
-// leak between the two accounting classes. Driver-side oracle accessors
+// # Unified op stream
+//
+// The paper charges updates and queries to the same three resources, so
+// the facade ingests them through one front door: every structure
+// implements Pipeline, whose Apply takes a single []Op stream mixing edge
+// insertions, deletions and typed reads (OpConnected, OpComponentOf,
+// OpMateOf, OpMatched) and returns the positional query answers plus a
+// MixedStats window attributing rounds to the update and query halves.
+// Under the hood the shared wave machinery (internal/sched) — resource-
+// keyed conflict building with exclusive keys for writes and read-shared
+// keys for queries, order-preserving precedence coloring, per-machine
+// broadcast-budget packing, and the first-wave/recompute loop — sequences
+// reads *into* the update waves: a query rides the wave that follows
+// every conflicting earlier write and precedes every conflicting later
+// one, so it is answered against exactly the prefix state its stream
+// position implies (snapshot-consistent mid-batch reads, bit-identical to
+// sequential replay — pinned by the FuzzMixedEquivalence harnesses)
+// instead of waiting for cluster quiescence. Reads touching state no
+// in-flight write conflicts with ride a write wave's rounds for free,
+// which is where mixed workloads beat the split read/write paths (see
+// cmd/dmpcbench -mixed and BENCH_0005.json).
+//
+// The pre-redesign surface remains as thin deprecated wrappers delegating
+// to Apply: ApplyBatch is the write-only projection (a Batch shares one
+// BatchStats round-accounting window and non-conflicting updates
+// parallelize into waves, per Nowicki–Onak, arXiv:2002.07800), and the
+// batched query paths (ConnectedBatch, MateOfBatch) are the read-only
+// projection (one scatter/gather window, 2/k resp. 1/k amortized rounds
+// per query). Update and query accounting never mix: pure windows are
+// mutually exclusive in the simulator, and a mixed window partitions its
+// rounds between its two halves by wave. Driver-side oracle accessors
 // (MateTable, and dyncon's CompOf/ForestEdges) bypass the cluster and are
 // for validation only.
 //
-// See DESIGN.md for the system inventory, the batch pipeline, and the
+// See DESIGN.md for the system inventory, the op pipeline, and the
 // deviations from the paper; cmd/dmpcbench reproduces Table 1 and the
 // batch amortization curves (its -json snapshots live in BENCH_*.json).
 package dmpc
@@ -65,9 +81,23 @@ type (
 	Batch = graph.Batch
 	// BatchStats is the shared round-accounting window of one batch.
 	BatchStats = mpc.BatchStats
-	// WaveStats is one concurrent wave's slice of a batch window; the wave
-	// widths measure how much parallelism the batch scheduler extracted.
+	// WaveStats is one concurrent wave's slice of a batch or mixed window;
+	// the wave widths measure how much parallelism the scheduler
+	// extracted, and Queries counts the reads that rode the wave.
 	WaveStats = mpc.WaveStats
+	// Op is one operation of a unified op stream: an edge insertion, an
+	// edge deletion, or a typed read.
+	Op = graph.Op
+	// OpKind classifies an Op.
+	OpKind = graph.OpKind
+	// Answer is one query's result (Bool for OpConnected/OpMatched, Int
+	// for OpComponentOf/OpMateOf).
+	Answer = graph.Answer
+	// Results holds one Answer per query op of a stream, in stream order.
+	Results = graph.Results
+	// MixedStats is the round-accounting window of one mixed op stream,
+	// split into its update and query halves.
+	MixedStats = mpc.MixedStats
 	// Pair is one query's endpoints; a []Pair is the read-side analogue of
 	// a Batch.
 	Pair = graph.Pair
@@ -78,26 +108,110 @@ type (
 	Cluster = mpc.Cluster
 )
 
+// Operation kinds for Update.Op and Op.Kind.
+const (
+	Insert = graph.Insert
+	Delete = graph.Delete
+
+	OpInsert      = graph.OpInsert
+	OpDelete      = graph.OpDelete
+	OpConnected   = graph.OpConnected
+	OpComponentOf = graph.OpComponentOf
+	OpMateOf      = graph.OpMateOf
+	OpMatched     = graph.OpMatched
+)
+
+// Op constructors, re-exported for workload building.
+var (
+	// OpIns returns an insert op.
+	OpIns = graph.OpIns
+	// OpDel returns a delete op.
+	OpDel = graph.OpDel
+	// OpQConnected returns a connectivity query op.
+	OpQConnected = graph.OpQConnected
+	// OpQComponentOf returns a component-label query op.
+	OpQComponentOf = graph.OpQComponentOf
+	// OpQMateOf returns a mate query op.
+	OpQMateOf = graph.OpQMateOf
+	// OpQMatched returns a matched-edge query op.
+	OpQMatched = graph.OpQMatched
+	// OpOf lifts a legacy Update into an Op.
+	OpOf = graph.OpUpdate
+	// UpdateOps lifts a write-only Batch into an op stream.
+	UpdateOps = graph.UpdateOps
+	// CountOps counts a stream's operations by side.
+	CountOps = graph.CountOps
+)
+
 // Chunk splits an update stream into consecutive batches of at most k
 // updates, preserving order.
 func Chunk(updates []Update, k int) []Batch { return graph.Chunk(updates, k) }
 
-// Operation kinds for Update.Op.
-const (
-	Insert = graph.Insert
-	Delete = graph.Delete
-)
+// SplitOps splits an op stream into consecutive chunks of at most k ops,
+// preserving the relative update/query order.
+func SplitOps(ops []Op, k int) [][]Op { return graph.SplitOps(ops, k) }
 
 // NewGraph returns an empty dynamic graph on n vertices.
 func NewGraph(n int) *Graph { return graph.New(n) }
 
+// Pipeline is the unified front door every structure in this package
+// implements: one scheduled pipeline ingesting updates and queries as a
+// single op stream, with snapshot-consistent in-wave reads. Apply returns
+// the answers positionally over the stream's queries (the j-th Answer
+// answers the j-th op with IsQuery() true) and the mixed window's
+// accounting. Each structure answers its own query kinds — OpConnected
+// and OpComponentOf on Connectivity/MST, OpMateOf and OpMatched on the
+// matchings — and panics on a kind it cannot answer.
+type Pipeline interface {
+	Apply(ops []Op) (Results, MixedStats)
+	Cluster() *Cluster
+}
+
+// Compile-time assertions: all four structures implement Pipeline.
+var (
+	_ Pipeline = (*Connectivity)(nil)
+	_ Pipeline = (*MST)(nil)
+	_ Pipeline = (*MaximalMatching)(nil)
+	_ Pipeline = (*AlmostMaximalMatching)(nil)
+)
+
+// pipe is the facade plumbing shared by all four structures — the one
+// copy of the Apply front door and the Cluster accessor that used to be
+// duplicated per structure.
+type pipe struct {
+	apply func([]graph.Op) (graph.Results, mpc.MixedStats)
+	cl    *mpc.Cluster
+}
+
+func newPipe(apply func([]graph.Op) (graph.Results, mpc.MixedStats), cl *mpc.Cluster) pipe {
+	return pipe{apply: apply, cl: cl}
+}
+
+// Apply processes a mixed op stream through the structure's scheduled
+// pipeline in one MixedStats window; see Pipeline.
+func (p pipe) Apply(ops []Op) (Results, MixedStats) { return p.apply(ops) }
+
+// Cluster exposes the underlying cluster accounting.
+func (p pipe) Cluster() *Cluster { return p.cl }
+
+// applyBatch is the shared deprecated ApplyBatch wrapper: the write-only
+// projection of Apply.
+func (p pipe) applyBatch(b Batch) BatchStats {
+	_, st := p.apply(graph.UpdateOps(b))
+	return st.Updates
+}
+
 // Connectivity maintains the connected components of a dynamic graph (§5).
-type Connectivity struct{ d *dyncon.D }
+type Connectivity struct {
+	pipe
+	d *dyncon.D
+}
 
 // NewConnectivity builds a fully-dynamic connected-components structure on
 // n vertices, sized for expectedEdges simultaneous edges (0 = default).
 func NewConnectivity(n, expectedEdges int) *Connectivity {
-	return &Connectivity{d: dyncon.New(dyncon.Config{N: n, Mode: dyncon.CC, ExpectedEdges: expectedEdges})}
+	d := dyncon.New(dyncon.Config{N: n, Mode: dyncon.CC, ExpectedEdges: expectedEdges})
+	return &Connectivity{pipe: newPipe(d.ApplyOps, d.Cluster()), d: d}
 }
 
 // Insert adds an edge, returning the update's accounting.
@@ -106,38 +220,48 @@ func (c *Connectivity) Insert(u, v int) UpdateStats { return c.d.Insert(u, v, 1)
 // Delete removes an edge.
 func (c *Connectivity) Delete(u, v int) UpdateStats { return c.d.Delete(u, v) }
 
-// Connected answers a connectivity query through the cluster (two rounds,
-// charged to a QueryStats window).
-func (c *Connectivity) Connected(u, v int) bool { return c.d.Connected(u, v) }
+// Connected answers a connectivity query through the cluster.
+//
+// Deprecated: a read-only projection of Apply; use Apply with an
+// OpQConnected op (possibly mixed into an update stream).
+func (c *Connectivity) Connected(u, v int) bool { return c.ConnectedBatch([]Pair{{U: u, V: v}})[0] }
 
 // ConnectedBatch answers k connectivity queries in one shared
-// scatter/gather window, amortizing the round cost to 2/k per query (see
-// dyncon.ConnectedBatch). Answers are positional.
-func (c *Connectivity) ConnectedBatch(pairs []Pair) []bool { return c.d.ConnectedBatch(pairs) }
+// scatter/gather window, amortizing the round cost to 2/k per query.
+// Answers are positional.
+//
+// Deprecated: a read-only projection of Apply; use Apply.
+func (c *Connectivity) ConnectedBatch(pairs []Pair) []bool { return c.pipe.connectedBatch(pairs) }
 
 // ApplyBatch applies a batch of updates in one shared round window,
-// running component-disjoint updates concurrently (see dyncon.ApplyBatch).
-func (c *Connectivity) ApplyBatch(b Batch) BatchStats { return c.d.ApplyBatch(b) }
+// running component-disjoint updates concurrently.
+//
+// Deprecated: the write-only projection of Apply; use Apply.
+func (c *Connectivity) ApplyBatch(b Batch) BatchStats { return c.applyBatch(b) }
 
 // ComponentOf returns v's component label, as a one-round protocol query
 // through the cluster.
-func (c *Connectivity) ComponentOf(v int) int64 { return c.d.ComponentOf(v) }
+//
+// Deprecated: a read-only projection of Apply; use Apply with an
+// OpQComponentOf op.
+func (c *Connectivity) ComponentOf(v int) int64 { return c.pipe.componentOf(v) }
 
 // CompOf returns v's component label by driver-side oracle access —
-// validation only, no protocol accounting. Use ComponentOf for the
-// protocol query.
+// validation only, no protocol accounting. Use an OpQComponentOf op for
+// the protocol query.
 func (c *Connectivity) CompOf(v int) int64 { return c.d.CompOf(v) }
-
-// Cluster exposes the underlying cluster accounting.
-func (c *Connectivity) Cluster() *Cluster { return c.d.Cluster() }
 
 // MST maintains a (1+ε)-approximate minimum spanning forest (§5.1); eps 0
 // maintains an exact MSF.
-type MST struct{ d *dyncon.D }
+type MST struct {
+	pipe
+	d *dyncon.D
+}
 
 // NewMST builds a fully-dynamic MSF structure.
 func NewMST(n int, eps float64, expectedEdges int) *MST {
-	return &MST{d: dyncon.New(dyncon.Config{N: n, Mode: dyncon.MST, Eps: eps, ExpectedEdges: expectedEdges})}
+	d := dyncon.New(dyncon.Config{N: n, Mode: dyncon.MST, Eps: eps, ExpectedEdges: expectedEdges})
+	return &MST{pipe: newPipe(d.ApplyOps, d.Cluster()), d: d}
 }
 
 // Insert adds a weighted edge.
@@ -146,9 +270,10 @@ func (m *MST) Insert(u, v int, w Weight) UpdateStats { return m.d.Insert(u, v, w
 // Delete removes an edge.
 func (m *MST) Delete(u, v int) UpdateStats { return m.d.Delete(u, v) }
 
-// ApplyBatch applies a batch of updates in one shared round window,
-// running component-disjoint updates concurrently (see dyncon.ApplyBatch).
-func (m *MST) ApplyBatch(b Batch) BatchStats { return m.d.ApplyBatch(b) }
+// ApplyBatch applies a batch of updates in one shared round window.
+//
+// Deprecated: the write-only projection of Apply; use Apply.
+func (m *MST) ApplyBatch(b Batch) BatchStats { return m.applyBatch(b) }
 
 // Weight returns the maintained forest's total (bucketed) weight
 // (driver-side oracle access; validation only).
@@ -158,30 +283,82 @@ func (m *MST) Weight() Weight { return m.d.ForestWeight() }
 // validation only).
 func (m *MST) ForestEdges() []graph.WEdge { return m.d.ForestEdges() }
 
-// Connected answers connectivity through the cluster (two rounds, charged
-// to a QueryStats window).
-func (m *MST) Connected(u, v int) bool { return m.d.Connected(u, v) }
+// Connected answers connectivity through the cluster.
+//
+// Deprecated: a read-only projection of Apply; use Apply with an
+// OpQConnected op.
+func (m *MST) Connected(u, v int) bool { return m.ConnectedBatch([]Pair{{U: u, V: v}})[0] }
 
 // ConnectedBatch answers k connectivity queries in one shared
-// scatter/gather window (see dyncon.ConnectedBatch).
-func (m *MST) ConnectedBatch(pairs []Pair) []bool { return m.d.ConnectedBatch(pairs) }
+// scatter/gather window.
+//
+// Deprecated: a read-only projection of Apply; use Apply.
+func (m *MST) ConnectedBatch(pairs []Pair) []bool { return m.pipe.connectedBatch(pairs) }
 
-// Cluster exposes the underlying cluster accounting.
-func (m *MST) Cluster() *Cluster { return m.d.Cluster() }
+// connectedBatch and componentOf are the dyncon-backed read projections
+// shared by Connectivity and MST.
+func (p pipe) connectedBatch(pairs []Pair) []bool {
+	if len(pairs) == 0 {
+		return nil
+	}
+	ops := make([]Op, len(pairs))
+	for i, pr := range pairs {
+		ops[i] = graph.OpQConnected(pr.U, pr.V)
+	}
+	res, _ := p.apply(ops)
+	out := make([]bool, len(res))
+	for i, a := range res {
+		out[i] = a.Bool
+	}
+	return out
+}
+
+func (p pipe) componentOf(v int) int64 {
+	res, _ := p.apply([]Op{graph.OpQComponentOf(v)})
+	return res[0].Int
+}
+
+// mateOfBatch and mateOf are the read projections shared by the two
+// matching structures.
+func (p pipe) mateOfBatch(vs []int) []int {
+	if len(vs) == 0 {
+		return nil
+	}
+	ops := make([]Op, len(vs))
+	for i, v := range vs {
+		ops[i] = graph.OpQMateOf(v)
+	}
+	res, _ := p.apply(ops)
+	out := make([]int, len(res))
+	for i, a := range res {
+		out[i] = int(a.Int)
+	}
+	return out
+}
+
+func (p pipe) matched(u, v int) bool {
+	res, _ := p.apply([]Op{graph.OpQMatched(u, v)})
+	return res[0].Bool
+}
 
 // MaximalMatching maintains a maximal matching (§3).
-type MaximalMatching struct{ m *dmm.M }
+type MaximalMatching struct {
+	pipe
+	m *dmm.M
+}
 
 // NewMaximalMatching builds the §3 structure for n vertices and at most
 // capEdges simultaneous edges.
 func NewMaximalMatching(n, capEdges int) *MaximalMatching {
-	return &MaximalMatching{m: dmm.New(dmm.Config{N: n, CapEdges: capEdges})}
+	m := dmm.New(dmm.Config{N: n, CapEdges: capEdges})
+	return &MaximalMatching{pipe: newPipe(m.ApplyOps, m.Cluster()), m: m}
 }
 
 // NewThreeHalvesMatching builds the §4 structure: a 3/2-approximate
 // maximum matching (the graph must start empty, which it does).
 func NewThreeHalvesMatching(n, capEdges int) *MaximalMatching {
-	return &MaximalMatching{m: dmm.New(dmm.Config{N: n, CapEdges: capEdges, ThreeHalves: true})}
+	m := dmm.New(dmm.Config{N: n, CapEdges: capEdges, ThreeHalves: true})
+	return &MaximalMatching{pipe: newPipe(m.ApplyOps, m.Cluster()), m: m}
 }
 
 // Insert adds an edge.
@@ -191,12 +368,11 @@ func (mm *MaximalMatching) Insert(u, v int) UpdateStats { return mm.m.Insert(u, 
 func (mm *MaximalMatching) Delete(u, v int) UpdateStats { return mm.m.Delete(u, v) }
 
 // ApplyBatch applies a batch of updates in one shared round window through
-// the shared wave scheduler: endpoint-disjoint updates progress the §3
-// case analysis phase-parallel as concurrent waves at the coordinator,
-// serial stretches fall back to coordinator chaining (see dmm.ApplyBatch).
-// The resulting matching is identical to applying the updates one at a
-// time.
-func (mm *MaximalMatching) ApplyBatch(b Batch) BatchStats { return mm.m.ApplyBatch(b) }
+// the shared wave scheduler; the resulting matching is identical to
+// applying the updates one at a time.
+//
+// Deprecated: the write-only projection of Apply; use Apply.
+func (mm *MaximalMatching) ApplyBatch(b Batch) BatchStats { return mm.applyBatch(b) }
 
 // ApplyBatchChained applies a batch through the PR 1 coordinator-chaining
 // path — strictly in-order execution with shared injection and ack-tail
@@ -206,29 +382,37 @@ func (mm *MaximalMatching) ApplyBatchChained(b Batch) BatchStats { return mm.m.A
 
 // MateOf answers "who is v matched to?" (-1 = free) as a one-round
 // protocol query at v's statistics machine.
-func (mm *MaximalMatching) MateOf(v int) int { return mm.m.MateOf(v) }
+//
+// Deprecated: a read-only projection of Apply; use Apply with an
+// OpQMateOf op.
+func (mm *MaximalMatching) MateOf(v int) int { return mm.mateOfBatch([]int{v})[0] }
 
-// MateOfBatch answers k mate queries in one shared one-round window (see
-// dmm.MateOfBatch).
-func (mm *MaximalMatching) MateOfBatch(vs []int) []int { return mm.m.MateOfBatch(vs) }
+// MateOfBatch answers k mate queries in one shared one-round window.
+//
+// Deprecated: a read-only projection of Apply; use Apply.
+func (mm *MaximalMatching) MateOfBatch(vs []int) []int { return mm.pipe.mateOfBatch(vs) }
 
 // Matched reports whether (u,v) is in the matching, as a protocol query.
-func (mm *MaximalMatching) Matched(u, v int) bool { return mm.m.Matched(u, v) }
+//
+// Deprecated: a read-only projection of Apply; use Apply with an
+// OpQMatched op.
+func (mm *MaximalMatching) Matched(u, v int) bool { return mm.pipe.matched(u, v) }
 
 // MateTable returns the current matching as a mate table (-1 = free) by
 // driver-side oracle access — validation only, no protocol accounting. Use
-// MateOf/MateOfBatch for protocol queries.
+// OpQMateOf/OpQMatched ops for protocol queries.
 func (mm *MaximalMatching) MateTable() []int { return mm.m.MateTable() }
 
-// Cluster exposes the underlying cluster accounting.
-func (mm *MaximalMatching) Cluster() *Cluster { return mm.m.Cluster() }
-
 // AlmostMaximalMatching maintains a (2+ε)-approximate matching (§6).
-type AlmostMaximalMatching struct{ m *amm.M }
+type AlmostMaximalMatching struct {
+	pipe
+	m *amm.M
+}
 
 // NewAlmostMaximalMatching builds the §6 structure.
 func NewAlmostMaximalMatching(n int, eps float64, seed int64) *AlmostMaximalMatching {
-	return &AlmostMaximalMatching{m: amm.New(amm.Config{N: n, Eps: eps, Seed: seed})}
+	m := amm.New(amm.Config{N: n, Eps: eps, Seed: seed})
+	return &AlmostMaximalMatching{pipe: newPipe(m.ApplyOps, m.Cluster()), m: m}
 }
 
 // Insert adds an edge.
@@ -244,19 +428,23 @@ func (am *AlmostMaximalMatching) ApplyBatch(b Batch) BatchStats { return am.m.Ap
 
 // MateOf answers "who is v matched to?" (-1 = free) as a one-round
 // protocol query at v's owner machine.
-func (am *AlmostMaximalMatching) MateOf(v int) int { return am.m.MateOf(v) }
+//
+// Deprecated: a read-only projection of Apply; use Apply with an
+// OpQMateOf op.
+func (am *AlmostMaximalMatching) MateOf(v int) int { return am.mateOfBatch([]int{v})[0] }
 
-// MateOfBatch answers k mate queries in one shared one-round window (see
-// amm.MateOfBatch).
-func (am *AlmostMaximalMatching) MateOfBatch(vs []int) []int { return am.m.MateOfBatch(vs) }
+// MateOfBatch answers k mate queries in one shared one-round window.
+//
+// Deprecated: a read-only projection of Apply; use Apply.
+func (am *AlmostMaximalMatching) MateOfBatch(vs []int) []int { return am.pipe.mateOfBatch(vs) }
 
 // Matched reports whether (u,v) is in the matching, as a protocol query.
-func (am *AlmostMaximalMatching) Matched(u, v int) bool { return am.m.Matched(u, v) }
+//
+// Deprecated: a read-only projection of Apply; use Apply with an
+// OpQMatched op.
+func (am *AlmostMaximalMatching) Matched(u, v int) bool { return am.pipe.matched(u, v) }
 
 // MateTable returns the current matching as a mate table (-1 = free) by
 // driver-side oracle access — validation only, no protocol accounting. Use
-// MateOf/MateOfBatch for protocol queries.
+// OpQMateOf/OpQMatched ops for protocol queries.
 func (am *AlmostMaximalMatching) MateTable() []int { return am.m.MateTable() }
-
-// Cluster exposes the underlying cluster accounting.
-func (am *AlmostMaximalMatching) Cluster() *Cluster { return am.m.Cluster() }

@@ -249,3 +249,172 @@ func TestQueryPipeline(t *testing.T) {
 		}
 	}
 }
+
+// TestPipelineMixedConnectivity drives the unified front door on a mixed
+// stream: in-wave answers must equal sequential replay at the same stream
+// positions, the final state must match, and the mixed window must
+// partition its rounds between the two halves.
+func TestPipelineMixedConnectivity(t *testing.T) {
+	const n = 48
+	rng := rand.New(rand.NewSource(21))
+	updates := graph.RandomStream(n, 240, 0.55, 1, rng)
+	ops := graph.MixedStream(updates, 0.4, func(r *rand.Rand) Op {
+		if r.Intn(3) == 0 {
+			return OpQComponentOf(r.Intn(n))
+		}
+		return OpQConnected(r.Intn(n), r.Intn(n))
+	}, rng)
+
+	ref := NewConnectivity(n, 5*n)
+	var want Results
+	for _, op := range ops {
+		switch op.Kind {
+		case OpInsert:
+			ref.Insert(op.U, op.V)
+		case OpDelete:
+			ref.Delete(op.U, op.V)
+		case OpConnected:
+			want = append(want, Answer{Bool: ref.Connected(op.U, op.V)})
+		case OpComponentOf:
+			want = append(want, Answer{Int: ref.ComponentOf(op.U)})
+		}
+	}
+
+	cc := NewConnectivity(n, 5*n)
+	var got Results
+	for _, chunk := range SplitOps(ops, 32) {
+		res, st := cc.Apply(chunk)
+		got = append(got, res...)
+		u, q := CountOps(chunk)
+		if st.Ops != len(chunk) || st.Updates.Updates != u || st.Queries.Queries != q {
+			t.Fatalf("window shape (%d,%d,%d) for chunk (%d,%d,%d)",
+				st.Ops, st.Updates.Updates, st.Queries.Queries, len(chunk), u, q)
+		}
+		if st.Updates.Rounds+st.Queries.Rounds != st.Rounds() {
+			t.Fatalf("halves do not partition the window: %+v", st)
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%d answers, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("answer %d is %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	for v := 0; v < n; v++ {
+		if cc.CompOf(v) != ref.CompOf(v) {
+			t.Fatalf("component of %d diverged", v)
+		}
+	}
+}
+
+// TestPipelineMixedMatching drives the §3 pipeline on a mixed stream with
+// mate and matched reads, against sequential replay.
+func TestPipelineMixedMatching(t *testing.T) {
+	const n = 40
+	rng := rand.New(rand.NewSource(22))
+	updates := graph.RandomStream(n, 200, 0.6, 1, rng)
+	ops := graph.MixedStream(updates, 0.5, func(r *rand.Rand) Op {
+		if r.Intn(3) == 0 {
+			return OpQMatched(r.Intn(n), r.Intn(n))
+		}
+		return OpQMateOf(r.Intn(n))
+	}, rng)
+
+	ref := NewMaximalMatching(n, len(updates))
+	var want Results
+	for _, op := range ops {
+		switch op.Kind {
+		case OpInsert:
+			ref.Insert(op.U, op.V)
+		case OpDelete:
+			ref.Delete(op.U, op.V)
+		case OpMateOf:
+			want = append(want, Answer{Int: int64(ref.MateOf(op.U))})
+		case OpMatched:
+			want = append(want, Answer{Bool: ref.Matched(op.U, op.V)})
+		}
+	}
+
+	mm := NewMaximalMatching(n, len(updates))
+	var got Results
+	for _, chunk := range SplitOps(ops, 24) {
+		res, _ := mm.Apply(chunk)
+		got = append(got, res...)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%d answers, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("answer %d is %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	wantT, gotT := ref.MateTable(), mm.MateTable()
+	for v := range wantT {
+		if wantT[v] != gotT[v] {
+			t.Fatalf("mate of %d diverged: %d vs %d", v, gotT[v], wantT[v])
+		}
+	}
+}
+
+// TestPipelineMixedAlmostMaximal drives the §6 pipeline on a mixed stream.
+// amm's batch mode does not promise bit-equivalence with sequential
+// replay, so the pin is internal consistency: every in-wave answer must
+// agree with the authoritative matching at its stream position, checked
+// by re-asking the structure's oracle right after each chunk for the
+// chunk-final reads.
+func TestPipelineMixedAlmostMaximal(t *testing.T) {
+	const n = 40
+	rng := rand.New(rand.NewSource(23))
+	updates := graph.RandomStream(n, 160, 0.65, 1, rng)
+
+	am := NewAlmostMaximalMatching(n, 0.5, 9)
+	g := NewGraph(n)
+	for _, chunk := range Chunk(updates, 20) {
+		ops := UpdateOps(chunk)
+		// Tail reads observe the post-chunk state, so the oracle can
+		// check them exactly.
+		probes := []int{rng.Intn(n), rng.Intn(n), rng.Intn(n)}
+		for _, v := range probes {
+			ops = append(ops, OpQMateOf(v))
+		}
+		res, st := am.Apply(ops)
+		u, q := CountOps(ops)
+		if st.Updates.Updates != u || st.Queries.Queries != q {
+			t.Fatalf("window shape %+v for (%d,%d)", st, u, q)
+		}
+		for _, up := range chunk {
+			g.Apply(up)
+		}
+		table := am.MateTable()
+		for i, v := range probes {
+			if int(res[i].Int) != table[v] {
+				t.Fatalf("read of %d answered %d, authoritative mate is %d", v, res[i].Int, table[v])
+			}
+		}
+	}
+	if !graph.IsMatching(g, am.MateTable()) {
+		t.Fatal("final matching invalid over the final graph")
+	}
+}
+
+// TestPipelineRejectsForeignKinds pins the typed-kind contract: a
+// structure panics on a query kind it cannot answer instead of returning
+// garbage.
+func TestPipelineRejectsForeignKinds(t *testing.T) {
+	wantPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	cc := NewConnectivity(8, 32)
+	wantPanic("MateOf on Connectivity", func() { cc.Apply([]Op{OpQMateOf(1)}) })
+	mm := NewMaximalMatching(8, 32)
+	wantPanic("Connected on MaximalMatching", func() { mm.Apply([]Op{OpQConnected(1, 2)}) })
+}

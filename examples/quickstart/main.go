@@ -1,5 +1,6 @@
 // Quickstart: maintain connected components of a dynamic graph on a
-// simulated DMPC cluster in ~30 lines, and read off the paper's O(1)
+// simulated DMPC cluster in ~40 lines — updates and queries flowing
+// through one unified op stream — and read off the paper's O(1)
 // rounds-per-update guarantee from the accounting.
 package main
 
@@ -13,29 +14,30 @@ func main() {
 	// A dynamic connectivity structure on 100 vertices.
 	cc := dmpc.NewConnectivity(100, 400)
 
-	// Build two chains: 0-1-...-49 and 50-...-99.
+	// Build two chains — 0-1-...-49 and 50-...-99 — as one batch of ops.
+	var ops []dmpc.Op
 	for i := 0; i < 49; i++ {
-		cc.Insert(i, i+1)
-		cc.Insert(50+i, 50+i+1)
+		ops = append(ops, dmpc.OpIns(i, i+1, 1), dmpc.OpIns(50+i, 50+i+1, 1))
 	}
-	fmt.Println("0 connected to 99?", cc.Connected(0, 99)) // false
+	cc.Apply(ops)
 
-	// Bridge them; every update costs O(1) rounds.
-	st := cc.Insert(49, 50)
-	fmt.Printf("bridge insert: %d rounds, %d machines, %d words in the busiest round\n",
-		st.Rounds, st.MaxActive, st.MaxWords)
-	fmt.Println("0 connected to 99?", cc.Connected(0, 99)) // true
+	// One mixed stream: a probe, the bridge insert, a probe, the bridge
+	// delete, a probe. Each read is answered against exactly the prefix
+	// state its position implies — no waiting for quiescence — and reads
+	// that share an update's wave cost no extra rounds.
+	res, st := cc.Apply([]dmpc.Op{
+		dmpc.OpQConnected(0, 99), // false: no bridge yet
+		dmpc.OpIns(49, 50, 1),
+		dmpc.OpQConnected(0, 99), // true: bridge in place
+		dmpc.OpDel(49, 50),
+		dmpc.OpQConnected(0, 99), // false: Euler-tour split finds no replacement
+	})
+	for i, a := range res {
+		fmt.Printf("probe %d: 0 connected to 99? %v\n", i, a.Bool)
+	}
+	fmt.Printf("mixed stream: %d ops in %d rounds (%d update-half, %d query-half)\n",
+		st.Ops, st.Rounds(), st.Updates.Rounds, st.Queries.Rounds)
 
-	// Cut the bridge again: the Euler-tour split finds no replacement.
-	st = cc.Delete(49, 50)
-	fmt.Printf("bridge delete: %d rounds, %d machines, %d words\n",
-		st.Rounds, st.MaxActive, st.MaxWords)
-	fmt.Println("0 connected to 99?", cc.Connected(0, 99)) // false
-
-	r, a, w := meanStats(cc.Cluster())
-	fmt.Printf("whole run: %.1f rounds/update, %.1f machines/round, %.1f words/round on average\n", r, a, w)
-}
-
-func meanStats(cl *dmpc.Cluster) (rounds, active, words float64) {
-	return cl.Stats().MeanUpdate()
+	r, a, w := cc.Cluster().Stats().MeanBatch()
+	fmt.Printf("whole run: %.2f rounds/update, %.1f machines/round, %.1f words/round on average\n", r, a, w)
 }

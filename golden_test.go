@@ -15,11 +15,13 @@ import (
 var updateGolden = flag.Bool("update", false, "regenerate testdata golden files")
 
 // goldenReport is the serialized accounting of one workload: every batch
-// window (including per-wave attribution) and every query window, verbatim.
+// window (including per-wave attribution), every query window, and every
+// mixed op window, verbatim.
 type goldenReport struct {
 	Name    string
 	Batches []BatchStats
 	Queries []QueryStats
+	Mixed   []MixedStats `json:",omitempty"`
 }
 
 // goldenWorkloads runs a fixed seed/workload through every algorithm's
@@ -77,6 +79,24 @@ func goldenWorkloads() []goldenReport {
 		Name:    "amm eps=0.5 seed=7 k=16 + MateOfBatch(24)",
 		Batches: am.Cluster().Stats().Batches(),
 		Queries: am.Cluster().Stats().Queries(),
+	})
+
+	// Mixed op pipeline: the same stream with reads sequenced into the
+	// waves, pinning the MixedStats attribution (update/query halves and
+	// per-wave read counts) against silent drift.
+	mrng := rand.New(rand.NewSource(80))
+	mops := graph.MixedStream(stream, 0.4, func(r *rand.Rand) Op {
+		return OpQConnected(r.Intn(n), r.Intn(n))
+	}, mrng)
+	mcc := NewConnectivity(n, 5*n)
+	for _, chunk := range SplitOps(mops, 20) {
+		mcc.Apply(chunk)
+	}
+	out = append(out, goldenReport{
+		Name:    "dyncon-cc mixed readfrac=0.4 k=20 (unified op pipeline)",
+		Batches: mcc.Cluster().Stats().Batches(),
+		Queries: mcc.Cluster().Stats().Queries(),
+		Mixed:   mcc.Cluster().Stats().Mixed(),
 	})
 	return out
 }

@@ -182,10 +182,21 @@ func (m *M) ApplyBatch(batch graph.Batch) mpc.BatchStats {
 		m.update(batch[0])
 		return m.cluster.EndBatch()
 	}
+	m.injectWaves(batch, m.cluster.BeginWave, m.cluster.EndWave)
+	m.drainCycles(len(batch))
+	return m.cluster.EndBatch()
+}
+
+// injectWaves injects the batch as endpoint-disjoint waves of three
+// rounds each (such updates mutate disjoint vertex state, so they
+// commute exactly), bracketing every wave with the supplied attribution
+// hooks — BeginWave/EndWave inside a batch window, a mixed-wave variant
+// inside a mixed window.
+func (m *M) injectWaves(batch graph.Batch, begin func(k int), end func() mpc.WaveStats) {
 	rest := batch
 	for len(rest) > 0 {
 		k := rest.DisjointPrefix(0)
-		m.cluster.BeginWave(k)
+		begin(k)
 		for _, up := range rest[:k] {
 			m.seq++
 			m.cluster.Send(mpc.Message{
@@ -198,13 +209,18 @@ func (m *M) ApplyBatch(batch graph.Batch) mpc.BatchStats {
 		m.cluster.Round() // owners of U process, contact owners of V
 		m.cluster.Round() // owners of V process, reply / report
 		m.cluster.Round() // both-free commits land back at owners of U
-		m.cluster.EndWave()
+		end()
 	}
-	// A backlog can legitimately persist (queued vertices whose pools are
-	// all exhausted re-queue; sequential mode leaves them waiting too), so
-	// stop as soon as a cycle fails to shrink the queues rather than
-	// spinning the full budget.
-	maxCycles := len(batch) + 4
+}
+
+// drainCycles runs scheduler cycles until the free-vertex queues drain or
+// stop shrinking, with a budget proportional to the updates just applied.
+// A backlog can legitimately persist (queued vertices whose pools are all
+// exhausted re-queue; sequential mode leaves them waiting too), so it
+// stops as soon as a cycle fails to shrink the queues rather than
+// spinning the full budget.
+func (m *M) drainCycles(updates int) {
+	maxCycles := updates + 4
 	prev := -1
 	for cyc := 0; cyc < maxCycles; cyc++ {
 		m.seq++
@@ -218,7 +234,97 @@ func (m *M) ApplyBatch(batch graph.Batch) mpc.BatchStats {
 		}
 		prev = bl
 	}
-	return m.cluster.EndBatch()
+}
+
+// ApplyOps processes a mixed op stream — updates *and* typed reads
+// (OpMateOf, OpMatched) — in one mixed round-accounting window
+// (mpc.MixedStats). amm's update cycles are randomized per cycle rather
+// than per update, so unlike dyncon and dmm the pipeline does not promise
+// bit-equivalence with sequential replay; the mixed contract is the same
+// one ApplyBatch already documents, extended to reads: update runs
+// execute as endpoint-disjoint injection waves followed by their run of
+// scheduler cycles (sequentially every update runs one cycle, so reads
+// following a run must see its cycle effects), and a run of consecutive
+// reads settles in-flight traffic and is answered by the authoritative
+// owners in one query-only wave (settle and answer rounds both charged to
+// the query half, as MateOfBatch charges them), observing exactly the
+// batched matching state at its stream position.
+//
+// Answers are positional over the stream's queries: the j-th entry of the
+// returned Results answers the j-th op with IsQuery() true.
+func (m *M) ApplyOps(ops []graph.Op) (graph.Results, mpc.MixedStats) {
+	nu, nq := graph.CountOps(ops)
+	m.cluster.BeginMixed(nu, nq)
+	qids := make([]int64, len(ops))
+	for i := 0; i < len(ops); {
+		if !ops[i].IsQuery() {
+			// Maximal update run, injected in endpoint-disjoint waves (see
+			// injectWaves), then the run's share of scheduler cycles so
+			// any following read observes the post-cycle matching exactly
+			// as sequential replay would.
+			j := i
+			for j < len(ops) && !ops[j].IsQuery() {
+				j++
+			}
+			run := make(graph.Batch, 0, j-i)
+			for _, op := range ops[i:j] {
+				run = append(run, op.Update())
+			}
+			m.injectWaves(run, func(k int) { m.cluster.BeginMixedWave(k, 0) }, m.cluster.EndMixedWave)
+			m.drainCycles(j - i)
+			i = j
+			continue
+		}
+		// Maximal read run. Settle in-flight update traffic before
+		// injecting the reads — an undelivered aExFreed sorts after a
+		// driver query in the same inbox, so answering first would return
+		// the pre-steal mate. As in MateOfBatch, the settle rounds are
+		// charged to the read side (the query-only wave) rather than left
+		// to perturb the update half's figures.
+		j := i
+		for j < len(ops) && ops[j].IsQuery() {
+			j++
+		}
+		m.cluster.BeginMixedWave(0, j-i)
+		m.cluster.Drain(64, "amm: pre-read settle")
+		for x := i; x < j; x++ {
+			op := ops[x]
+			switch op.Kind {
+			case graph.OpMateOf, graph.OpMatched:
+			default:
+				panic(fmt.Sprintf("amm: unsupported query kind %v (matching answers OpMateOf and OpMatched)", op.Kind))
+			}
+			m.queryID++
+			qids[x] = m.queryID
+			m.cluster.Send(mpc.Message{
+				From: -1, To: m.owner(op.U),
+				Payload: amsg{Kind: aMateQuery, U: int32(op.U), Seq: qids[x]},
+				Words:   3,
+			})
+		}
+		m.cluster.Drain(64, fmt.Sprintf("amm: read wave of %d", j-i))
+		m.cluster.EndMixedWave()
+		i = j
+	}
+	st := m.cluster.EndMixed()
+	res := make(graph.Results, 0, nq)
+	for i, op := range ops {
+		if !op.IsQuery() {
+			continue
+		}
+		sh := m.shards[m.owner(op.U)-1]
+		mate, ok := sh.queryResults[qids[i]]
+		if !ok {
+			panic(fmt.Sprintf("amm: in-wave query %v produced no result", op))
+		}
+		delete(sh.queryResults, qids[i])
+		if op.Kind == graph.OpMatched {
+			res = append(res, graph.Answer{Bool: int(mate) == op.V})
+		} else {
+			res = append(res, graph.Answer{Int: int64(mate)})
+		}
+	}
+	return res, st
 }
 
 // MateOf answers "who is v matched to?" (-1 = free) through the cluster:

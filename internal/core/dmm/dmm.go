@@ -151,40 +151,68 @@ func (m *M) update(up graph.Update) mpc.UpdateStats {
 	return m.cluster.EndUpdate()
 }
 
-// ApplyBatch processes a batch of updates in one shared round-accounting
-// window using the shared wave scheduler (internal/sched): updates whose
-// §3 case analysis provably touches only their endpoints and those
-// endpoints' current mates run phase-parallel as one concurrent wave — MC
-// opens a per-seq continuation flow for each and interleaves their
-// stats/storage round trips — while updates whose touch set cannot be
-// bounded at schedule time (deletions of matched edges and insertions at
-// a free heavy endpoint, whose rematch/surrogate chains scan arbitrary
-// neighbors) run solo in batch position. Items are recomputed from live
-// statistics between waves, and sequence numbers are assigned by batch
-// position, so the final mate table is bit-identical to applying the
-// updates one at a time (pinned by FuzzBatchEquivalence and
+// ApplyOps processes a mixed op stream — updates *and* typed reads
+// (OpMateOf, OpMatched) — through one scheduled pipeline in a single
+// mixed round-accounting window (mpc.MixedStats), using the shared wave
+// scheduler (internal/sched). Updates whose §3 case analysis provably
+// touches only their endpoints and those endpoints' current mates run
+// phase-parallel as one concurrent wave — MC opens a per-seq continuation
+// flow for each and interleaves their stats/storage round trips — while
+// updates whose touch set cannot be bounded at schedule time (deletions
+// of matched edges and insertions at a free heavy endpoint, whose
+// rematch/surrogate chains scan arbitrary neighbors) run solo in stream
+// position. A read claims the vertex it observes as a *read* key: every
+// matching change involving vertex v carries v in its exclusive touch set
+// (endpoints plus current mates; cascades are Solo), so the precedence
+// coloring sequences the read after every conflicting earlier update and
+// before every conflicting later one, and the authoritative statistics
+// machine answers it in the wave's delivery round against exactly the
+// prefix state its stream position implies. Reads of untouched vertices
+// ride any wave for free.
+//
+// Items are recomputed from live statistics between waves, and sequence
+// numbers are assigned by stream position, so the final mate table AND
+// every in-wave answer are bit-identical to applying the ops one at a
+// time (pinned by FuzzBatchEquivalence, FuzzMixedEquivalence and
 // TestWavePermutationCommutativity).
 //
-// A wave of w updates costs the rounds of one update instead of w — the
+// A wave of w ops costs the rounds of one update instead of w — the
 // batch-dynamic win serial coordinator chaining (ApplyBatchChained, the
 // PR 1 baseline) could not reach, because chaining still ran every case
-// analysis back to back. Stretches of the batch with no parallelism to
-// extract (a wave of width 1) do not regress below that baseline either:
-// the driver detects the maximal serial head-run and executes it chained
-// through the coordinator queue — serialize mode is sequential replay by
-// construction, so the fallback needs no schedule-time reads at all — and
-// only genuine waves pay wave bookkeeping.
-func (m *M) ApplyBatch(batch graph.Batch) mpc.BatchStats {
-	m.cluster.BeginBatch(len(batch))
-	base := m.seq
-	m.seq += int64(len(batch))
-	item := m.batchItem(batch)
+// analysis back to back. Update stretches with no parallelism to extract
+// (a wave of width 1) do not regress below that baseline either: the
+// driver detects the maximal serial head-run of updates and executes it
+// chained through the coordinator queue — serialize mode is sequential
+// replay by construction, so the fallback needs no schedule-time reads at
+// all — and only genuine waves pay wave bookkeeping. Reads never chain:
+// a read reaching the head of the remaining stream runs as a query-only
+// wave costing one round, charged to the window's query half.
+//
+// Answers are positional over the stream's queries: the j-th entry of the
+// returned Results answers the j-th op with IsQuery() true.
+func (m *M) ApplyOps(ops []graph.Op) (graph.Results, mpc.MixedStats) {
+	nu, nq := graph.CountOps(ops)
+	m.cluster.BeginMixed(nu, nq)
+	// Updates draw sequence numbers by stream position, queries draw from
+	// the separate queryID counter — exactly the ids sequential replay
+	// would hand out.
+	ids := make([]int64, len(ops))
+	for i, op := range ops {
+		if op.IsQuery() {
+			m.queryID++
+			ids[i] = m.queryID
+		} else {
+			m.seq++
+			ids[i] = m.seq
+		}
+	}
+	item := m.opItem(ops)
 	budget := m.cluster.MemWords()
-	pending := make([]int, len(batch))
+	pending := make([]int, len(ops))
 	for i := range pending {
 		pending[i] = i
 	}
-	items := make([]sched.Item, len(batch))
+	items := make([]sched.Item, len(ops))
 	for len(pending) > 0 {
 		// The mean refresh-suffix cost only moves when rounds execute, so
 		// it is read once per scheduling pass, not once per item.
@@ -193,12 +221,12 @@ func (m *M) ApplyBatch(batch graph.Batch) mpc.BatchStats {
 			items[j] = item(b, meanSuffix)
 		}
 		wave := sched.FirstWave(items[:len(pending)], budget)
-		if len(wave) > 1 {
-			ids := make([]int, len(wave))
+		if len(wave) > 1 || ops[pending[wave[0]]].IsQuery() {
+			idx := make([]int, len(wave))
 			for x, j := range wave {
-				ids[x] = pending[j]
+				idx[x] = pending[j]
 			}
-			m.runWave(batch, base, ids)
+			m.runOpWave(ops, ids, idx)
 			kept := pending[:0]
 			x := 0
 			for j, b := range pending {
@@ -211,53 +239,109 @@ func (m *M) ApplyBatch(batch graph.Batch) mpc.BatchStats {
 			pending = kept
 			continue
 		}
-		// Serial head-run: the front of the remaining batch packs no wave.
+		// Serial head-run: the front of the remaining stream packs no wave.
 		// Chain forward while the (schedule-time) item view keeps yielding
-		// width-1 waves — a segmentation heuristic only; chained execution
-		// is sequential replay whatever the items say.
+		// width-1 waves over consecutive *updates* — a segmentation
+		// heuristic only; chained execution is sequential replay whatever
+		// the items say.
 		run := 1
-		for run < len(pending) && len(sched.FirstWave(items[run:len(pending)], budget)) == 1 {
+		for run < len(pending) && !ops[pending[run]].IsQuery() &&
+			len(sched.FirstWave(items[run:len(pending)], budget)) == 1 {
 			run++
 		}
-		m.runChained(batch, base, pending[:run])
+		m.runChained(ops, ids, pending[:run])
 		pending = pending[run:]
 	}
-	// Absorb the last run's leftover bookkeeping acks inside the batch
-	// window so the structure is quiescent for whatever comes next.
-	m.cluster.Drain(16, "dmm: batch ack tail")
-	return m.cluster.EndBatch()
+	// Absorb the last run's leftover bookkeeping acks inside the window so
+	// the structure is quiescent for whatever comes next.
+	m.cluster.Drain(16, "dmm: op ack tail")
+	st := m.cluster.EndMixed()
+	res := make(graph.Results, 0, nq)
+	for i, op := range ops {
+		if !op.IsQuery() {
+			continue
+		}
+		sm := m.stats[op.U/m.coord.statsPer]
+		mate, ok := sm.queryResults[ids[i]]
+		if !ok {
+			panic(fmt.Sprintf("dmm: in-wave query %v produced no result", op))
+		}
+		delete(sm.queryResults, ids[i])
+		if op.Kind == graph.OpMatched {
+			res = append(res, graph.Answer{Bool: int(mate) == op.V})
+		} else {
+			res = append(res, graph.Answer{Int: int64(mate)})
+		}
+	}
+	return res, st
 }
 
-// runWave injects the scheduled wave (batch indices) at MC in one round —
-// every member opens its own continuation flow on arrival — and drives the
-// flows to completion inside a per-wave attribution window. The test-only
-// wavePerm hook permutes the injection order, backing the permutation-
+// ApplyBatch processes a batch of updates in one shared round-accounting
+// window — the write-only projection of ApplyOps: the batch is lifted
+// into an op stream and scheduled through the same pipeline, so the
+// update half of the mixed window *is* the batch's BatchStats (no
+// query-only waves exist to absorb rounds). See ApplyOps for the
+// scheduling and correctness story.
+func (m *M) ApplyBatch(batch graph.Batch) mpc.BatchStats {
+	_, st := m.ApplyOps(graph.UpdateOps(batch))
+	return st.Updates
+}
+
+// runOpWave injects the scheduled wave (stream indices: updates at MC,
+// reads at their statistics machines) in one round — every update opens
+// its own continuation flow on arrival, every read is answered in the
+// delivery round — and drives the flows to completion inside a per-wave
+// attribution window. A query-only wave needs exactly one round (the
+// MateOfBatch scatter), charged to the query half. The test-only wavePerm
+// hook permutes the injection order, backing the permutation-
 // commutativity property test.
-func (m *M) runWave(batch graph.Batch, base int64, wave []int) {
+func (m *M) runOpWave(ops []graph.Op, ids []int64, wave []int) {
 	order := wave
 	if m.wavePerm != nil {
 		order = append([]int(nil), wave...)
 		m.wavePerm(order)
 	}
-	m.cluster.BeginWave(len(wave))
-	for _, i := range order {
-		m.inject(batch[i], base+int64(i)+1)
+	nu, nq := 0, 0
+	for _, i := range wave {
+		if ops[i].IsQuery() {
+			nq++
+		} else {
+			nu++
+		}
 	}
-	m.driveFlows(80*len(wave)+16, fmt.Sprintf("dmm: batch wave of %d updates", len(wave)))
-	m.cluster.EndWave()
+	m.cluster.BeginMixedWave(nu, nq)
+	for _, i := range order {
+		op := ops[i]
+		if op.IsQuery() {
+			m.cluster.Send(mpc.Message{
+				From: -1, To: 1 + op.U/m.coord.statsPer,
+				Payload: cmsg{Kind: cMateQuery, V: int32(op.U), Seq: ids[i]},
+				Words:   3,
+			})
+			continue
+		}
+		m.inject(op.Update(), ids[i])
+	}
+	if nu == 0 {
+		m.cluster.Round() // reads answer in the delivery round; no flows to drive
+	} else {
+		m.driveFlows(80*nu+16, fmt.Sprintf("dmm: op wave of %d updates + %d reads", nu, nq))
+	}
+	m.cluster.EndMixedWave()
 }
 
-// runChained executes a serial segment (batch indices) through the
-// coordinator queue: all updates are injected in one round, MC runs them
-// strictly in order and chains each update's first requests into the round
-// the previous one finishes — the PR 1 batch path, scoped to the segments
-// where it is optimal. Chained rounds belong to the batch window only: a
-// wave records genuine concurrency, and a serial segment has none.
-func (m *M) runChained(batch graph.Batch, base int64, seg []int) {
+// runChained executes a serial update segment (stream indices) through
+// the coordinator queue: all updates are injected in one round, MC runs
+// them strictly in order and chains each update's first requests into the
+// round the previous one finishes — the PR 1 batch path, scoped to the
+// segments where it is optimal. Chained rounds belong to the window's
+// update half only: a wave records genuine concurrency, and a serial
+// segment has none.
+func (m *M) runChained(ops []graph.Op, ids []int64, seg []int) {
 	m.coord.serialize = true
 	defer func() { m.coord.serialize = false }()
 	for _, i := range seg {
-		m.inject(batch[i], base+int64(i)+1)
+		m.inject(ops[i].Update(), ids[i])
 	}
 	m.driveFlows(80*len(seg)+16, fmt.Sprintf("dmm: chained run of %d updates", len(seg)))
 }
@@ -293,11 +377,19 @@ func (m *M) driveFlows(limit int, what string) {
 	}
 }
 
-// batchItem reads one update's schedule-time resources from the
-// authoritative statistics (driver-side, between waves, at quiescence —
-// so the reads are current).
+// opItem reads one op's schedule-time resources from the authoritative
+// statistics (driver-side, between waves, at quiescence — so the reads
+// are current).
 //
-// Classification: an insert matching two free endpoints, an insert that
+// Reads: a query names the vertex it observes as a read key. Matching
+// state is symmetric — any update changing mate(u) carries u among its
+// exclusive keys (endpoint or current mate) or is Solo — so ordering the
+// read against exclusive claimants of u is exactly the §3 snapshot it
+// must observe. OpMatched(u,v) is mate(u) == v, a single read of u. The
+// statistics machine of u takes a small budgeted claim so a wave cannot
+// funnel unbounded reads through one machine.
+//
+// Update classification: an insert matching two free endpoints, an insert that
 // changes no matching (some endpoint matched, no free heavy endpoint) and
 // a delete of an unmatched edge touch exactly {u, v} plus, for mirror
 // heaviness reads, their current mates — those vertex ids are the
@@ -317,11 +409,22 @@ func (m *M) driveFlows(limit int, what string) {
 // cross the heavy threshold additionally takes the exclusive transition
 // key: transitions hold fresh exclusive machines transiently, so at most
 // one per wave keeps the storage pool within its sequential envelope.
-func (m *M) batchItem(batch graph.Batch) func(i, meanSuffix int) sched.Item {
+func (m *M) opItem(ops []graph.Op) func(i, meanSuffix int) sched.Item {
 	c := m.coord
 	const transitionKey = int64(-1) // vertex ids are >= 0
 	return func(i, meanSuffix int) sched.Item {
-		up := batch[i]
+		op := ops[i]
+		if op.IsQuery() {
+			switch op.Kind {
+			case graph.OpMateOf, graph.OpMatched:
+				return sched.Item{
+					Read:   []int64{int64(op.U)},
+					Shared: []sched.Claim{{Key: int64(c.statsOf(int32(op.U))), Cost: 4}},
+				}
+			}
+			panic(fmt.Sprintf("dmm: unsupported query kind %v (matching answers OpMateOf and OpMatched)", op.Kind))
+		}
+		up := op.Update()
 		u, v := int32(up.U), int32(up.V)
 		if u == v {
 			return sched.Item{Excl: []int64{int64(u)}} // no-op at MC

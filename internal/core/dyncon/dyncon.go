@@ -172,54 +172,89 @@ func (d *D) inject(up graph.Update, seq int64) {
 	})
 }
 
-// ApplyBatch processes a batch of updates in one shared round-accounting
-// window using the shared wave scheduler (internal/sched): each pending
-// update's resources are read driver-side — its two endpoint component
-// labels as exclusive keys (semantic conflicts: overlapping updates must
-// stay ordered) and its orchestrator machine as a budgeted claim (resource
-// conflict: concurrent orchestrations on one machine are fine until their
-// worst-round words would blow the per-round cap S) — and the first
-// precedence color class runs as one component-disjoint concurrent wave
-// through the §5 protocol. Because executing a wave merges and splits
-// components, sched.Drive recomputes the items from live component labels
-// between waves; later color classes are only a prediction (see
+// ApplyOps processes a mixed op stream — updates *and* typed reads
+// (OpConnected, OpComponentOf) — through one scheduled pipeline in a
+// single mixed round-accounting window (mpc.MixedStats). Each pending
+// op's resources are read driver-side and handed to the shared wave
+// scheduler (internal/sched):
+//
+//   - an update claims its two endpoint component labels exclusively
+//     (semantic conflicts: overlapping updates must stay ordered) and its
+//     orchestrator machine as a budgeted claim (resource conflict:
+//     concurrent orchestrations on one machine are fine until their
+//     worst-round words would blow the per-round cap S);
+//   - a query claims the component labels it observes as *read* keys:
+//     reads of one component commute with each other and with every
+//     update touching other components, but keep batch order against
+//     updates of the components they observe.
+//
+// The first precedence color class runs as one component-disjoint
+// concurrent wave through the §5 protocol, queries riding the same wave
+// as scatter/forward/gather traffic. Because executing a wave merges and
+// splits components, sched.Drive recomputes the items from live component
+// labels between waves; later color classes are only a prediction (see
 // sched.ConflictGraph).
 //
 // Correctness rests on two facts. Commutativity: the per-shard
 // orchestration state is keyed by update sequence number and every
 // broadcast shift map is conditioned on component labels, so updates whose
 // endpoint components are disjoint touch disjoint records and commute
-// exactly — a wave may even reorder a later update before an earlier
-// pending one, since the wave member conflicts with *no* earlier pending
-// update and its components are untouched by them. Order preservation: the
-// precedence coloring keeps every conflicting pair in batch order. The
-// final forest and labeling therefore equal sequential application, while
-// a wave of w updates costs the rounds of one update instead of w.
+// exactly — and a query's answer depends only on the labels of its own
+// endpoints' components, which no wave peer touches. Order preservation:
+// the precedence coloring keeps every conflicting pair — update/update
+// and update/query — in batch order. The final forest and labeling
+// therefore equal sequential application, and every query is answered
+// against exactly the prefix state its stream position implies
+// (snapshot-consistent mid-batch reads, pinned by FuzzMixedEquivalence),
+// while a wave of w ops costs the rounds of one op instead of w.
 //
 // The per-op orchestrator cost distinguishes updates that broadcast a
 // shift descriptor to all µ machines (links, cuts, MST cycle checks) from
-// updates that stay O(1)-machine local (non-tree adds and deletes, no-ops):
-// the latter pack onto a shared orchestrator nearly freely, the former
-// claim most of the machine's per-round word budget — the PR 3 follow-on
-// that used to serialize *any* two updates sharing owner(U) mod µ.
+// updates that stay O(1)-machine local (non-tree adds and deletes, no-ops,
+// and all queries): the latter pack onto a shared orchestrator nearly
+// freely, the former claim most of the machine's per-round word budget.
 //
-// Unlike the greedy-prefix packer (ApplyBatchPrefix, kept for comparison),
-// one early conflicting pair no longer caps the wave width: independent
-// updates from anywhere in the batch pack into the same wave.
-func (d *D) ApplyBatch(batch graph.Batch) mpc.BatchStats {
-	d.cluster.BeginBatch(len(batch))
-	// Sequence numbers are assigned by *batch position*, not injection
+// Answers are positional over the stream's queries: the j-th entry of the
+// returned Results answers the j-th op with IsQuery() true.
+func (d *D) ApplyOps(ops []graph.Op) (graph.Results, mpc.MixedStats) {
+	nu, nq := graph.CountOps(ops)
+	d.cluster.BeginMixed(nu, nq)
+	// Sequence numbers are assigned by *stream position*, not injection
 	// order: fresh component ids minted by cuts are derived from the seq
 	// (N + 2·seq), so position-based seqs make the labels of a reordered
-	// schedule bit-identical to sequential replay.
-	base := d.seq
-	d.seq += int64(len(batch))
+	// schedule bit-identical to sequential replay. Queries draw from the
+	// separate queryID counter, exactly like the quiescence read paths.
+	ids := make([]int64, len(ops))
+	for i, op := range ops {
+		if op.IsQuery() {
+			d.queryID++
+			ids[i] = d.queryID
+		} else {
+			d.seq++
+			ids[i] = d.seq
+		}
+	}
 	// Worst orchestration round of a broadcasting update: a 3-shift
 	// descriptor to every machine, plus slack for the same round's O(1)
 	// point-to-point traffic.
 	bcast := (16+5*3)*len(d.shards) + 32
 	item := func(i int) sched.Item {
-		up := batch[i]
+		op := ops[i]
+		switch op.Kind {
+		case graph.OpConnected:
+			return sched.Item{
+				Read:   []int64{d.CompOf(op.U), d.CompOf(op.V)},
+				Shared: []sched.Claim{{Key: int64(d.owner(op.U)), Cost: 8}},
+			}
+		case graph.OpComponentOf:
+			return sched.Item{
+				Read:   []int64{d.CompOf(op.U)},
+				Shared: []sched.Claim{{Key: int64(d.owner(op.U)), Cost: 4}},
+			}
+		case graph.OpMateOf, graph.OpMatched:
+			panic(fmt.Sprintf("dyncon: unsupported query kind %v (connectivity answers OpConnected and OpComponentOf)", op.Kind))
+		}
+		up := op.Update()
 		cost := 32 // info/size requests and non-tree record traffic, all O(1) words
 		if d.broadcasts(up) {
 			cost = bcast
@@ -229,10 +264,92 @@ func (d *D) ApplyBatch(batch graph.Batch) mpc.BatchStats {
 			Shared: []sched.Claim{{Key: int64(d.owner(up.U)), Cost: cost}},
 		}
 	}
-	sched.Drive(len(batch), item, d.cluster.MemWords(), func(wave []int) {
-		d.runWave(batch, base, wave)
+	sched.Drive(len(ops), item, d.cluster.MemWords(), func(wave []int) {
+		d.runOpWave(ops, ids, wave)
 	})
-	return d.cluster.EndBatch()
+	st := d.cluster.EndMixed()
+	res := make(graph.Results, 0, nq)
+	for i, op := range ops {
+		if !op.IsQuery() {
+			continue
+		}
+		switch op.Kind {
+		case graph.OpConnected:
+			sh := d.shards[d.owner(op.V)]
+			b, ok := sh.queryResults[ids[i]]
+			if !ok {
+				panic(fmt.Sprintf("dyncon: in-wave query %v produced no result", op))
+			}
+			delete(sh.queryResults, ids[i])
+			res = append(res, graph.Answer{Bool: b})
+		case graph.OpComponentOf:
+			sh := d.shards[d.owner(op.U)]
+			c, ok := sh.compResults[ids[i]]
+			if !ok {
+				panic(fmt.Sprintf("dyncon: in-wave query %v produced no result", op))
+			}
+			delete(sh.compResults, ids[i])
+			res = append(res, graph.Answer{Int: c})
+		}
+	}
+	return res, st
+}
+
+// runOpWave injects the scheduled wave (stream indices: updates and
+// queries alike) concurrently and drives the cluster to quiescence inside
+// a per-wave attribution window. The test-only wavePerm hook permutes the
+// injection order, backing the permutation-commutativity property test.
+func (d *D) runOpWave(ops []graph.Op, ids []int64, wave []int) {
+	order := wave
+	if d.wavePerm != nil {
+		order = append([]int(nil), wave...)
+		d.wavePerm(order)
+	}
+	nu, nq := 0, 0
+	for _, i := range wave {
+		if ops[i].IsQuery() {
+			nq++
+		} else {
+			nu++
+		}
+	}
+	d.cluster.BeginMixedWave(nu, nq)
+	for _, i := range order {
+		op := ops[i]
+		switch op.Kind {
+		case graph.OpConnected:
+			d.cluster.Send(mpc.Message{
+				From: -1, To: d.owner(op.U),
+				Payload: wire{Kind: kQuery, U: int32(op.U), V: int32(op.V), Seq: ids[i]},
+				Words:   4,
+			})
+		case graph.OpComponentOf:
+			d.cluster.Send(mpc.Message{
+				From: -1, To: d.owner(op.U),
+				Payload: wire{Kind: kCompQuery, V: int32(op.U), Seq: ids[i]},
+				Words:   3,
+			})
+		case graph.OpMateOf, graph.OpMatched:
+			panic(fmt.Sprintf("dyncon: unsupported query kind %v (connectivity answers OpConnected and OpComponentOf)", op.Kind))
+		default:
+			d.inject(op.Update(), ids[i])
+		}
+	}
+	d.cluster.Drain(64, fmt.Sprintf("dyncon: op wave of %d updates + %d reads", nu, nq))
+	d.cluster.EndMixedWave()
+}
+
+// ApplyBatch processes a batch of updates in one shared round-accounting
+// window — the write-only projection of ApplyOps: the batch is lifted into
+// an op stream and scheduled through the same pipeline, so the update
+// half of the mixed window *is* the batch's BatchStats (no query-only
+// waves exist to absorb rounds). See ApplyOps for the scheduling and
+// correctness story; unlike the greedy-prefix packer (ApplyBatchPrefix,
+// kept for comparison), one early conflicting pair never caps the wave
+// width.
+func (d *D) ApplyBatch(batch graph.Batch) mpc.BatchStats {
+	_, st := d.ApplyOps(graph.UpdateOps(batch))
+	return st.Updates
 }
 
 // broadcasts predicts, from driver-side oracle state at schedule time,
@@ -265,24 +382,6 @@ func (d *D) broadcasts(up graph.Update) bool {
 	// Same component: CC stores a non-tree record locally; MST broadcasts
 	// the cycle check (and possibly a swap cut plus relink).
 	return d.cfg.Mode == MST
-}
-
-// runWave injects the scheduled wave (batch indices) concurrently and
-// drives the cluster to quiescence inside a per-wave attribution window.
-// The test-only wavePerm hook permutes the injection order, backing the
-// permutation-commutativity property test.
-func (d *D) runWave(batch graph.Batch, base int64, wave []int) {
-	order := wave
-	if d.wavePerm != nil {
-		order = append([]int(nil), wave...)
-		d.wavePerm(order)
-	}
-	d.cluster.BeginWave(len(wave))
-	for _, i := range order {
-		d.inject(batch[i], base+int64(i)+1)
-	}
-	d.cluster.Drain(64, fmt.Sprintf("dyncon: batch wave of %d updates", len(wave)))
-	d.cluster.EndWave()
 }
 
 // ApplyBatchPrefix is the PR 1 greedy-prefix wave packer, retained as the

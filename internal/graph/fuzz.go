@@ -35,6 +35,82 @@ func FuzzStream(data []byte, n int, maxW Weight) []Update {
 	return ups
 }
 
+// FuzzOps deterministically decodes raw fuzzer bytes into a mixed op
+// stream on n vertices — the shared front-end of the FuzzMixedEquivalence
+// harnesses. Three bytes per op, like FuzzStream: the selector's low two
+// bits choose between an update (0, 1: decoded exactly like FuzzStream so
+// update-only prefixes stay byte-compatible with the batch harnesses) and
+// a query drawn from qkinds (2, 3), keeping roughly half of every random
+// stream reads. Callers whose update contract requires well-formedness
+// (dmm) set wellFormed, which filters the interleaved updates through the
+// FuzzStreamWellFormed rules while queries pass through untouched at their
+// stream positions.
+func FuzzOps(data []byte, n int, maxW Weight, qkinds []OpKind, wellFormed bool) []Op {
+	if n < 2 || len(qkinds) == 0 {
+		return nil
+	}
+	// Well-formedness state for the update side only.
+	g := New(n)
+	var present []Edge
+	pos := make(map[Edge]int)
+	ops := make([]Op, 0, len(data)/3)
+	for i := 0; i+2 < len(data); i += 3 {
+		sel, b1, b2 := data[i], data[i+1], data[i+2]
+		u := int(b1) % n
+		v := int(b2) % n
+		if u == v {
+			v = (v + 1) % n
+		}
+		switch sel & 3 {
+		case 2, 3:
+			k := qkinds[int(sel>>2)%len(qkinds)]
+			if k == OpComponentOf || k == OpMateOf {
+				v = 0
+			}
+			ops = append(ops, Op{Kind: k, U: u, V: v})
+			continue
+		}
+		up := Update{Op: Delete, U: u, V: v}
+		if sel&1 == 0 {
+			w := Weight(1)
+			if maxW > 1 {
+				w = 1 + Weight(sel>>1)%maxW
+			}
+			up = Update{Op: Insert, U: u, V: v, W: w}
+		}
+		if !wellFormed {
+			ops = append(ops, OpUpdate(up))
+			continue
+		}
+		e := NormEdge(up.U, up.V)
+		if up.Op == Insert {
+			if g.Has(e.U, e.V) {
+				continue
+			}
+			g.Insert(e.U, e.V, up.W)
+			pos[e] = len(present)
+			present = append(present, e)
+			ops = append(ops, OpUpdate(up))
+			continue
+		}
+		if !g.Has(e.U, e.V) {
+			if len(present) == 0 {
+				continue
+			}
+			e = present[(e.U+e.V)%len(present)]
+		}
+		last := len(present) - 1
+		j := pos[e]
+		present[j] = present[last]
+		pos[present[j]] = j
+		present = present[:last]
+		delete(pos, e)
+		g.Delete(e.U, e.V)
+		ops = append(ops, OpDel(e.U, e.V))
+	}
+	return ops
+}
+
 // FuzzStreamWellFormed decodes like FuzzStream but keeps the sequence
 // well-formed — no duplicate inserts, no deletes of absent edges — which is
 // the standard dynamic-algorithm stream contract that dmm's and amm's

@@ -32,17 +32,18 @@ type WEdge struct {
 	W    Weight
 }
 
-// Op distinguishes the two dynamic operations.
-type Op int8
+// UpdateKind distinguishes the two dynamic update operations. (The
+// unified op-stream type Op extends these two kinds with typed reads.)
+type UpdateKind int8
 
 const (
 	// Insert adds an edge.
-	Insert Op = iota
+	Insert UpdateKind = iota
 	// Delete removes an edge.
 	Delete
 )
 
-func (o Op) String() string {
+func (o UpdateKind) String() string {
 	if o == Insert {
 		return "insert"
 	}
@@ -51,7 +52,7 @@ func (o Op) String() string {
 
 // Update is one dynamic graph operation.
 type Update struct {
-	Op   Op
+	Op   UpdateKind
 	U, V int
 	W    Weight
 }

@@ -1,0 +1,174 @@
+package graph
+
+import "fmt"
+
+// OpKind classifies one operation of a unified op stream. The first two
+// kinds are the write side (they carry an Update); the remaining kinds are
+// typed protocol reads. Keeping reads and writes in one stream is the
+// batch-dynamic view of a workload: the paper charges both to the same
+// three DMPC resources, so a scheduler may interleave them freely as long
+// as every read observes exactly the prefix state its stream position
+// implies.
+type OpKind int8
+
+const (
+	// OpInsert adds an edge.
+	OpInsert OpKind = iota
+	// OpDelete removes an edge.
+	OpDelete
+	// OpConnected asks whether U and V are in one component (dyncon).
+	OpConnected
+	// OpComponentOf asks for U's component label (dyncon).
+	OpComponentOf
+	// OpMateOf asks for U's mate, -1 when free (dmm, amm).
+	OpMateOf
+	// OpMatched asks whether edge (U,V) is in the matching (dmm, amm).
+	OpMatched
+)
+
+// IsQuery reports whether the kind is a read.
+func (k OpKind) IsQuery() bool { return k >= OpConnected }
+
+func (k OpKind) String() string {
+	switch k {
+	case OpInsert:
+		return "insert"
+	case OpDelete:
+		return "delete"
+	case OpConnected:
+		return "connected?"
+	case OpComponentOf:
+		return "component-of?"
+	case OpMateOf:
+		return "mate-of?"
+	case OpMatched:
+		return "matched?"
+	}
+	return fmt.Sprintf("OpKind(%d)", int(k))
+}
+
+// Op is one operation of a unified op stream: an edge insertion, an edge
+// deletion, or a typed read. Single-vertex queries (OpComponentOf,
+// OpMateOf) use U and leave V zero.
+type Op struct {
+	Kind OpKind
+	U, V int
+	W    Weight
+}
+
+// IsQuery reports whether the op is a read.
+func (o Op) IsQuery() bool { return o.Kind.IsQuery() }
+
+// Update converts a write op to the legacy Update form. It panics on a
+// query op: a read has no Update representation, and silently coercing one
+// would corrupt a replay.
+func (o Op) Update() Update {
+	switch o.Kind {
+	case OpInsert:
+		return Update{Op: Insert, U: o.U, V: o.V, W: o.W}
+	case OpDelete:
+		return Update{Op: Delete, U: o.U, V: o.V}
+	}
+	panic(fmt.Sprintf("graph: Op %v is a query, not an update", o))
+}
+
+func (o Op) String() string {
+	switch o.Kind {
+	case OpInsert:
+		return fmt.Sprintf("insert(%d,%d,w=%d)", o.U, o.V, o.W)
+	case OpComponentOf, OpMateOf:
+		return fmt.Sprintf("%s(%d)", o.Kind, o.U)
+	}
+	return fmt.Sprintf("%s(%d,%d)", o.Kind, o.U, o.V)
+}
+
+// Op constructors, one per kind.
+
+// OpIns returns an insert op.
+func OpIns(u, v int, w Weight) Op { return Op{Kind: OpInsert, U: u, V: v, W: w} }
+
+// OpDel returns a delete op.
+func OpDel(u, v int) Op { return Op{Kind: OpDelete, U: u, V: v} }
+
+// OpQConnected returns a connectivity query op.
+func OpQConnected(u, v int) Op { return Op{Kind: OpConnected, U: u, V: v} }
+
+// OpQComponentOf returns a component-label query op.
+func OpQComponentOf(v int) Op { return Op{Kind: OpComponentOf, U: v} }
+
+// OpQMateOf returns a mate query op.
+func OpQMateOf(v int) Op { return Op{Kind: OpMateOf, U: v} }
+
+// OpQMatched returns a matched-edge query op.
+func OpQMatched(u, v int) Op { return Op{Kind: OpMatched, U: u, V: v} }
+
+// OpUpdate lifts a legacy Update into an Op.
+func OpUpdate(up Update) Op {
+	if up.Op == Insert {
+		return OpIns(up.U, up.V, up.W)
+	}
+	return OpDel(up.U, up.V)
+}
+
+// UpdateOps lifts a write-only batch into an op stream.
+func UpdateOps(b Batch) []Op {
+	ops := make([]Op, len(b))
+	for i, up := range b {
+		ops[i] = OpUpdate(up)
+	}
+	return ops
+}
+
+// Answer is one query's result; which field is meaningful depends on the
+// query kind: Bool answers OpConnected and OpMatched, Int answers
+// OpComponentOf (the component label) and OpMateOf (the mate, -1 = free).
+type Answer struct {
+	Bool bool
+	Int  int64
+}
+
+// Results holds one Answer per query op of a stream, in stream order:
+// Results[j] answers the j-th op with IsQuery() true. Write ops produce no
+// entry, so len(Results) equals CountOps' query count.
+type Results []Answer
+
+// CountOps counts a stream's operations by side.
+func CountOps(ops []Op) (updates, queries int) {
+	for _, o := range ops {
+		if o.IsQuery() {
+			queries++
+		} else {
+			updates++
+		}
+	}
+	return updates, queries
+}
+
+// SplitOps splits an op stream into consecutive chunks of at most k ops,
+// preserving the relative order of updates and queries (a chunk is a
+// contiguous window, so it cannot reorder anything). Like Chunk, k <= 0 is
+// coerced to 1 (singleton chunks, per-op semantics) and k is clamped to
+// the stream length first so the capacity expression cannot overflow for k
+// near MaxInt. An empty stream yields nil; an all-query stream chunks like
+// any other.
+func SplitOps(ops []Op, k int) [][]Op {
+	if len(ops) == 0 {
+		return nil
+	}
+	if k < 1 {
+		k = 1
+	}
+	if k > len(ops) {
+		k = len(ops)
+	}
+	out := make([][]Op, 0, (len(ops)+k-1)/k)
+	for len(ops) > 0 {
+		n := k
+		if n > len(ops) {
+			n = len(ops)
+		}
+		out = append(out, ops[:n:n])
+		ops = ops[n:]
+	}
+	return out
+}

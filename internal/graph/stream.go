@@ -136,6 +136,28 @@ func TreeChurn(n, extra, churn int, maxW Weight, rng *rand.Rand) (initial []Upda
 	return initial, churnUpdates
 }
 
+// MixedStream interleaves typed queries into an update stream so the
+// running read fraction tracks readfrac: after each update, queries drawn
+// from mkQuery are appended until reads/(reads+writes) reaches the target.
+// This is the standard mixed read/write workload of the unified op
+// pipeline; the relative update order is preserved exactly.
+func MixedStream(updates []Update, readfrac float64, mkQuery func(rng *rand.Rand) Op, rng *rand.Rand) []Op {
+	if readfrac <= 0 || readfrac >= 1 || mkQuery == nil {
+		return UpdateOps(updates)
+	}
+	ops := make([]Op, 0, int(float64(len(updates))/(1-readfrac))+1)
+	reads, writes := 0, 0
+	for _, up := range updates {
+		ops = append(ops, OpUpdate(up))
+		writes++
+		for float64(reads) < readfrac/(1-readfrac)*float64(writes) {
+			ops = append(ops, mkQuery(rng))
+			reads++
+		}
+	}
+	return ops
+}
+
 // InsertAll returns an insert-only stream materializing g in random order.
 func InsertAll(g *Graph, rng *rand.Rand) []Update {
 	edges := g.Edges()

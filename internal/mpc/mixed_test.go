@@ -1,0 +1,167 @@
+package mpc
+
+import "testing"
+
+// TestMixedAttribution pins the MixedStats attribution rule: rounds of
+// update-bearing waves and out-of-wave scheduling rounds fold into the
+// update half, rounds of query-only waves fold into the query half, the
+// halves always partition the window, and the halves land on the Batches
+// and Queries logs so the aggregate means cover mixed runs.
+func TestMixedAttribution(t *testing.T) {
+	c := NewCluster(Config{Machines: 4, MemWords: 64})
+	for i := 0; i < 4; i++ {
+		c.SetMachine(i, bounceMachine{})
+	}
+
+	c.BeginMixed(2, 3)
+
+	// Wave 1: one update plus two riding reads — update half.
+	c.BeginMixedWave(1, 2)
+	c.Send(Message{From: -1, To: 0, Payload: "ping", Words: 1})
+	c.Run(8)
+	w1 := c.EndMixedWave()
+
+	// Out-of-wave scheduling round — update half.
+	c.Send(Message{From: -1, To: 1, Payload: "ping", Words: 1})
+	c.Run(8)
+
+	// Wave 2: query-only — query half.
+	c.BeginMixedWave(0, 1)
+	c.Send(Message{From: -1, To: 2, Payload: "ping", Words: 1})
+	c.Run(8)
+	w2 := c.EndMixedWave()
+
+	// Wave 3: one more update, no reads — update half.
+	c.BeginMixedWave(1, 0)
+	c.Send(Message{From: -1, To: 3, Payload: "ping", Words: 1})
+	c.Run(8)
+	w3 := c.EndMixedWave()
+
+	m := c.EndMixed()
+
+	if m.Ops != 5 || m.Updates.Updates != 2 || m.Queries.Queries != 3 {
+		t.Fatalf("window shape wrong: %+v", m)
+	}
+	if len(m.Waves) != 3 || m.Waves[0] != w1 || m.Waves[1] != w2 || m.Waves[2] != w3 {
+		t.Fatalf("wave log wrong: %+v", m.Waves)
+	}
+	if len(m.Updates.Waves) != 2 || m.Updates.Waves[0] != w1 || m.Updates.Waves[1] != w3 {
+		t.Fatalf("update half must log exactly the update-bearing waves: %+v", m.Updates.Waves)
+	}
+	if m.Queries.Rounds != w2.Rounds {
+		t.Fatalf("query half rounds %d, want query-only wave's %d", m.Queries.Rounds, w2.Rounds)
+	}
+	if m.Updates.Rounds+m.Queries.Rounds != m.Rounds() {
+		t.Fatalf("halves do not partition the window: %d + %d != %d",
+			m.Updates.Rounds, m.Queries.Rounds, m.Rounds())
+	}
+	if m.Updates.Rounds <= w1.Rounds+w3.Rounds {
+		t.Fatalf("out-of-wave round missing from the update half: %d vs waves %d",
+			m.Updates.Rounds, w1.Rounds+w3.Rounds)
+	}
+	if want := float64(m.Rounds()) / 5; m.RoundsPerOp() != want {
+		t.Fatalf("RoundsPerOp %.3f, want %.3f", m.RoundsPerOp(), want)
+	}
+
+	// Halves recorded on the shared logs.
+	if bs := c.Stats().Batches(); len(bs) != 1 || !bs[0].Equal(m.Updates) {
+		t.Fatalf("update half not on the batch log: %+v", bs)
+	}
+	if qs := c.Stats().Queries(); len(qs) != 1 || qs[0] != m.Queries {
+		t.Fatalf("query half not on the query log: %+v", qs)
+	}
+	if ms := c.Stats().Mixed(); len(ms) != 1 || !ms[0].Equal(m) {
+		t.Fatalf("mixed log wrong: %+v", ms)
+	}
+	rpo, ur, qr := c.Stats().MeanMixed()
+	if rpo != m.RoundsPerOp() || ur != m.Updates.Rounds || qr != m.Queries.Rounds {
+		t.Fatalf("MeanMixed = (%.3f, %d, %d)", rpo, ur, qr)
+	}
+}
+
+// TestMixedHalvesSkipEmpty pins that an all-update mixed window records no
+// empty query window (which would pollute MeanQuery) and an all-query one
+// records no empty batch window.
+func TestMixedHalvesSkipEmpty(t *testing.T) {
+	c := NewCluster(Config{Machines: 2, MemWords: 64})
+	c.SetMachine(0, bounceMachine{})
+	c.SetMachine(1, bounceMachine{})
+
+	c.BeginMixed(1, 0)
+	c.BeginMixedWave(1, 0)
+	c.Send(Message{From: -1, To: 0, Payload: "ping", Words: 1})
+	c.Run(8)
+	c.EndMixedWave()
+	c.EndMixed()
+	if qs := c.Stats().Queries(); len(qs) != 0 {
+		t.Fatalf("all-update window recorded a query window: %+v", qs)
+	}
+	if bs := c.Stats().Batches(); len(bs) != 1 {
+		t.Fatalf("all-update window missing from the batch log: %+v", bs)
+	}
+
+	c.BeginMixed(0, 2)
+	c.BeginMixedWave(0, 2)
+	c.Send(Message{From: -1, To: 1, Payload: "ping", Words: 1})
+	c.Run(8)
+	c.EndMixedWave()
+	c.EndMixed()
+	if bs := c.Stats().Batches(); len(bs) != 1 {
+		t.Fatalf("all-query window polluted the batch log: %+v", bs)
+	}
+	if qs := c.Stats().Queries(); len(qs) != 1 || qs[0].Queries != 2 {
+		t.Fatalf("all-query window missing from the query log: %+v", qs)
+	}
+}
+
+// TestMixedWindowExclusivity pins that mixed windows refuse to nest with
+// every other accounting class in both directions, preserving the window-
+// exclusivity invariant the query/update split established.
+func TestMixedWindowExclusivity(t *testing.T) {
+	wantPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+
+	fresh := func() *Cluster { return NewCluster(Config{Machines: 1, MemWords: 16}) }
+
+	c := fresh()
+	c.BeginMixed(1, 1)
+	wantPanic("BeginUpdate inside mixed", func() { c.BeginUpdate() })
+	wantPanic("BeginBatch inside mixed", func() { c.BeginBatch(1) })
+	wantPanic("BeginQueryBatch inside mixed", func() { c.BeginQueryBatch(1) })
+	wantPanic("BeginMixed inside mixed", func() { c.BeginMixed(1, 1) })
+
+	c2 := fresh()
+	c2.BeginBatch(1)
+	wantPanic("BeginMixed inside batch", func() { c2.BeginMixed(1, 1) })
+
+	c3 := fresh()
+	c3.BeginQueryBatch(1)
+	wantPanic("BeginMixed inside query", func() { c3.BeginMixed(1, 1) })
+
+	c4 := fresh()
+	c4.BeginUpdate()
+	wantPanic("BeginMixed inside update", func() { c4.BeginMixed(1, 1) })
+
+	c5 := fresh()
+	wantPanic("BeginMixedWave outside mixed", func() { c5.BeginMixedWave(1, 0) })
+	c5.BeginMixed(1, 0)
+	c5.BeginMixedWave(1, 0)
+	wantPanic("nested mixed wave", func() { c5.BeginMixedWave(1, 0) })
+	wantPanic("EndMixed with open wave", func() { c5.EndMixed() })
+	c5.EndMixedWave()
+	wantPanic("EndMixedWave without wave", func() { c5.EndMixedWave() })
+	c5.EndMixed()
+
+	// A closed mixed window releases the cluster for every other class.
+	c5.BeginBatch(1)
+	c5.EndBatch()
+	c5.BeginQueryBatch(1)
+	c5.EndQueryBatch()
+}

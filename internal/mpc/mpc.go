@@ -133,6 +133,7 @@ func (u *UpdateStats) Add(r RoundStats) {
 // S, the budget the shared scheduler (internal/sched) packs against.
 type WaveStats struct {
 	Updates  int // wave width: updates executed concurrently in this wave
+	Queries  int // reads sequenced into this wave (mixed op windows only)
 	Rounds   int // rounds attributed to this wave
 	SumWords int // words communicated over the wave's rounds
 	MaxWords int // peak words in any round of the wave
@@ -230,6 +231,51 @@ func (q QueryStats) RoundsPerQuery() float64 {
 	return float64(q.Rounds) / float64(q.Queries)
 }
 
+// MixedStats aggregates one mixed op window: a single scheduled pipeline
+// processing updates *and* queries, with the rounds attributed to the two
+// accounting halves without ever letting one leak into the other. The
+// attribution rule is per wave: a round folds into the query half iff the
+// open wave is query-only (it executes reads and nothing else); every
+// other round — update-bearing waves, scheduling and drain rounds outside
+// any wave — folds into the update half. A query sequenced into an
+// update-bearing wave therefore rides that wave's rounds for free, which
+// is exactly the batch-dynamic win the mixed pipeline exists to measure,
+// while the update half stays comparable to a pure BatchStats window over
+// the same updates.
+type MixedStats struct {
+	Ops     int         // updates + queries covered by the window
+	Updates BatchStats  // update half; its Waves hold the update-bearing waves
+	Queries QueryStats  // query half: the query-only waves
+	Waves   []WaveStats // every wave of the window, in execution order
+}
+
+// Rounds returns the whole window's round count (both halves).
+func (m MixedStats) Rounds() int { return m.Updates.Rounds + m.Queries.Rounds }
+
+// RoundsPerOp returns the amortized rounds per op of the window — the
+// figure a mixed workload optimizes for, and the one the AutoBatcher
+// sizes k against on mixed streams.
+func (m MixedStats) RoundsPerOp() float64 {
+	if m.Ops == 0 {
+		return 0
+	}
+	return float64(m.Rounds()) / float64(m.Ops)
+}
+
+// Equal reports deep equality, including the per-wave attribution.
+func (m MixedStats) Equal(o MixedStats) bool {
+	if m.Ops != o.Ops || !m.Updates.Equal(o.Updates) || m.Queries != o.Queries ||
+		len(m.Waves) != len(o.Waves) {
+		return false
+	}
+	for i := range m.Waves {
+		if m.Waves[i] != o.Waves[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // Stats is the lifetime accounting of a cluster.
 type Stats struct {
 	Rounds        int
@@ -245,6 +291,8 @@ type Stats struct {
 	currentWave   *WaveStats
 	queries       []QueryStats
 	currentQuery  *QueryStats
+	mixed         []MixedStats
+	currentMixed  *MixedStats
 }
 
 // Updates returns per-update statistics recorded between BeginUpdate and
@@ -270,6 +318,32 @@ func (s *Stats) Queries() []QueryStats {
 	out := make([]QueryStats, len(s.queries))
 	copy(out, s.queries)
 	return out
+}
+
+// Mixed returns per-window mixed op statistics recorded between
+// BeginMixed and EndMixed calls. The returned slice is owned by the
+// caller. Each window's halves are additionally recorded in Batches and
+// Queries (when non-empty), so the aggregate means keep covering mixed
+// runs.
+func (s *Stats) Mixed() []MixedStats {
+	out := make([]MixedStats, len(s.mixed))
+	copy(out, s.mixed)
+	return out
+}
+
+// MeanMixed returns the amortized rounds per op over all recorded mixed
+// windows, plus the totals of the two halves.
+func (s *Stats) MeanMixed() (roundsPerOp float64, updateRounds, queryRounds int) {
+	var ops int
+	for _, m := range s.mixed {
+		ops += m.Ops
+		updateRounds += m.Updates.Rounds
+		queryRounds += m.Queries.Rounds
+	}
+	if ops > 0 {
+		roundsPerOp = float64(updateRounds+queryRounds) / float64(ops)
+	}
+	return roundsPerOp, updateRounds, queryRounds
 }
 
 // MeanQuery returns the amortized rounds per query, plus mean active
@@ -440,6 +514,9 @@ func (c *Cluster) BeginUpdate() {
 	if c.stats.currentQuery != nil {
 		panic("mpc: BeginUpdate inside an open query window (update and query accounting are mutually exclusive)")
 	}
+	if c.stats.currentMixed != nil {
+		panic("mpc: BeginUpdate inside an open mixed window (window kinds are mutually exclusive)")
+	}
 	c.stats.currentUpdate = &UpdateStats{}
 }
 
@@ -462,6 +539,9 @@ func (c *Cluster) EndUpdate() UpdateStats {
 func (c *Cluster) BeginBatch(k int) {
 	if c.stats.currentQuery != nil {
 		panic("mpc: BeginBatch inside an open query window (update and query accounting are mutually exclusive)")
+	}
+	if c.stats.currentMixed != nil {
+		panic("mpc: BeginBatch inside an open mixed window (window kinds are mutually exclusive)")
 	}
 	c.stats.currentBatch = &BatchStats{Updates: k}
 }
@@ -524,6 +604,9 @@ func (c *Cluster) BeginQueryBatch(k int) {
 	if c.stats.currentUpdate != nil || c.stats.currentBatch != nil {
 		panic("mpc: BeginQueryBatch inside an open update/batch window (update and query accounting are mutually exclusive)")
 	}
+	if c.stats.currentMixed != nil {
+		panic("mpc: BeginQueryBatch inside an open mixed window (window kinds are mutually exclusive)")
+	}
 	if c.stats.currentQuery != nil {
 		panic("mpc: BeginQueryBatch inside an open query window (close it with EndQueryBatch first)")
 	}
@@ -539,6 +622,85 @@ func (c *Cluster) EndQueryBatch() QueryStats {
 	}
 	c.stats.queries = append(c.stats.queries, *q)
 	return *q
+}
+
+// BeginMixed starts mixed op accounting for a window covering updates
+// writes and queries reads scheduled through one pipeline. Mixed windows
+// are mutually exclusive with every other window kind — their whole point
+// is to attribute each round to exactly one of the two halves (see
+// MixedStats), so opening one inside another accounting class panics.
+// Within the window, waves are declared with BeginMixedWave/EndMixedWave.
+func (c *Cluster) BeginMixed(updates, queries int) {
+	if c.stats.currentUpdate != nil || c.stats.currentBatch != nil || c.stats.currentQuery != nil {
+		panic("mpc: BeginMixed inside an open update/batch/query window (window kinds are mutually exclusive)")
+	}
+	if c.stats.currentMixed != nil {
+		panic("mpc: BeginMixed inside an open mixed window (close it with EndMixed first)")
+	}
+	c.stats.currentMixed = &MixedStats{
+		Ops:     updates + queries,
+		Updates: BatchStats{Updates: updates},
+		Queries: QueryStats{Queries: queries},
+	}
+}
+
+// EndMixed finishes mixed accounting and records the aggregate. The two
+// halves are additionally recorded on the Batches and Queries logs (when
+// they cover any ops or rounds), so MeanBatch/MeanQuery and the wave
+// histograms transparently include mixed runs. An open wave panics, as in
+// EndBatch.
+func (c *Cluster) EndMixed() MixedStats {
+	if c.stats.currentWave != nil {
+		panic("mpc: EndMixed with an open wave (close it with EndMixedWave first)")
+	}
+	m := c.stats.currentMixed
+	c.stats.currentMixed = nil
+	if m == nil {
+		return MixedStats{}
+	}
+	c.stats.mixed = append(c.stats.mixed, *m)
+	if m.Updates.Updates > 0 || m.Updates.Rounds > 0 {
+		c.stats.batches = append(c.stats.batches, m.Updates)
+	}
+	if m.Queries.Queries > 0 || m.Queries.Rounds > 0 {
+		c.stats.queries = append(c.stats.queries, m.Queries)
+	}
+	return *m
+}
+
+// BeginMixedWave starts per-wave attribution inside an open mixed window:
+// the next rounds execute updates writes and queries reads concurrently.
+// A wave with updates == 0 is a query-only wave; its rounds fold into the
+// window's query half, while every other wave's rounds (the reads ride
+// along) fold into the update half. Waves never nest.
+func (c *Cluster) BeginMixedWave(updates, queries int) {
+	if c.stats.currentMixed == nil {
+		panic("mpc: BeginMixedWave outside a mixed window")
+	}
+	if c.stats.currentWave != nil {
+		panic("mpc: BeginMixedWave inside an open wave (close it with EndMixedWave first)")
+	}
+	c.stats.currentWave = &WaveStats{Updates: updates, Queries: queries}
+}
+
+// EndMixedWave finishes the current mixed wave and records it on the open
+// mixed window (update-bearing waves additionally on the update half's
+// wave log, keeping it shaped like a pure batch window).
+func (c *Cluster) EndMixedWave() WaveStats {
+	w := c.stats.currentWave
+	if w == nil {
+		panic("mpc: EndMixedWave without an open wave")
+	}
+	m := c.stats.currentMixed
+	if m == nil {
+		panic("mpc: EndMixedWave outside a mixed window")
+	}
+	c.stats.currentWave = nil
+	m.Waves = append(m.Waves, *w)
+	if w.Updates > 0 {
+		m.Updates.Waves = append(m.Updates.Waves, *w)
+	}
+	return *w
 }
 
 // Quiescent reports whether no machine has pending messages or scheduling,
@@ -649,6 +811,15 @@ func (c *Cluster) Round() RoundStats {
 	}
 	if c.stats.currentBatch != nil {
 		c.stats.currentBatch.Add(rs)
+	}
+	if m := c.stats.currentMixed; m != nil {
+		// The per-wave attribution rule of MixedStats: query-only waves
+		// feed the query half, everything else feeds the update half.
+		if w := c.stats.currentWave; w != nil && w.Updates == 0 && w.Queries > 0 {
+			m.Queries.Add(rs)
+		} else {
+			m.Updates.Add(rs)
+		}
 	}
 	if w := c.stats.currentWave; w != nil {
 		w.Rounds++

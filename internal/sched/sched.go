@@ -24,6 +24,16 @@
 //     their claimed costs stays within the budget. This is the packing PR 3
 //     deferred: before it, any orchestrator collision serialized the pair.
 //
+//   - Read keys (Item.Read) are the read-only view of semantic state: a
+//     query names the components or vertices it observes. Readers of one
+//     key never conflict with each other (reads commute), but a reader and
+//     an exclusive writer of the same key must keep batch order — the
+//     reader answers against exactly the prefix state its position
+//     implies, so it may neither overtake a conflicting earlier write nor
+//     share a wave with a conflicting later one. This is what sequences
+//     queries *into* the update waves of a mixed op stream instead of
+//     waiting for quiescence.
+//
 // Item.Solo marks an update whose touch set cannot be bounded at schedule
 // time (dmm's cascading rematch/surrogate chains): it conflicts with
 // everything and runs as a singleton wave in batch position.
@@ -49,6 +59,10 @@ type Item struct {
 	// Excl are exclusive resource keys: updates sharing one never share a
 	// wave and keep batch order.
 	Excl []int64
+	// Read are read-only resource keys: an item reading a key conflicts
+	// with items holding the same key exclusively (batch order is kept),
+	// but not with other readers of it.
+	Read []int64
 	// Shared are capacity-limited claims: updates sharing a key may share
 	// a wave while their summed costs fit the budget.
 	Shared []Claim
@@ -57,41 +71,64 @@ type Item struct {
 	Solo bool
 }
 
-// ConflictGraph is the semantic conflict relation over the updates of one
-// batch: vertices are batch indices 0..n-1 and an edge joins two updates
-// that may not run concurrently for *semantic* reasons (intersecting Excl
-// sets, or either Solo). Shared-claim budget exhaustion is not an edge —
-// it depends on which updates actually pack together, a property of wave
-// formation (FirstWave), not of pairs. Build one with BuildConflict.
+// ConflictGraph is the semantic conflict relation over the ops of one
+// batch: vertices are batch indices 0..n-1 and an edge joins two ops that
+// may not run concurrently for *semantic* reasons (intersecting Excl
+// sets, an Excl set intersecting a Read set in either direction, or
+// either Solo — two Read claims on one key never conflict). Shared-claim
+// budget exhaustion is not an edge — it depends on which updates actually
+// pack together, a property of wave formation (FirstWave), not of pairs.
+// Build one with BuildConflict.
 type ConflictGraph struct {
 	n   int
 	adj [][]int // adjacency lists; neighbor order is unspecified
 }
 
-// BuildConflict builds the semantic conflict graph over the items:
-// updates conflict iff their exclusive key sets intersect or either is
-// Solo. Keys are grouped rather than compared pairwise, so construction is
-// near-linear in the total key count for sparse conflicts.
+// BuildConflict builds the semantic conflict graph over the items: ops
+// conflict iff their exclusive key sets intersect, one's exclusive keys
+// intersect the other's read keys, or either is Solo. Keys are grouped
+// rather than compared pairwise, so construction is near-linear in the
+// total key count for sparse conflicts.
 func BuildConflict(items []Item) *ConflictGraph {
 	n := len(items)
 	cg := &ConflictGraph{n: n, adj: make([][]int, n)}
-	byKey := make(map[int64][]int)
+	type claimants struct{ excl, read []int }
+	byKey := make(map[int64]*claimants)
+	group := func(k int64) *claimants {
+		c := byKey[k]
+		if c == nil {
+			c = &claimants{}
+			byKey[k] = c
+		}
+		return c
+	}
 	for i, it := range items {
 		seen := make(map[int64]bool, 4)
 		for _, k := range it.Excl {
 			if seen[k] {
-				continue // an update may name one resource twice (u,v in the same component)
+				continue // an op may name one resource twice (u,v in the same component)
 			}
 			seen[k] = true
-			byKey[k] = append(byKey[k], i)
+			group(k).excl = append(group(k).excl, i)
+		}
+		for _, k := range it.Read {
+			if seen[k] {
+				continue // an exclusive claim subsumes a read of the same key
+			}
+			seen[k] = true
+			group(k).read = append(group(k).read, i)
 		}
 	}
-	// Updates sharing a key form a clique; a pair sharing several keys gets
-	// one edge. Group members are appended in ascending index order, so
-	// pair{a,b} always has a < b.
+	// Exclusive claimants of a key form a clique and additionally conflict
+	// with every reader of it; readers don't conflict among themselves. A
+	// pair sharing several keys gets one edge. Group members are appended
+	// in ascending index order, so pair{a,b} always has a < b.
 	type pair struct{ a, b int }
 	linked := make(map[pair]bool)
 	link := func(a, b int) {
+		if a > b {
+			a, b = b, a
+		}
 		p := pair{a, b}
 		if linked[p] {
 			return
@@ -100,10 +137,15 @@ func BuildConflict(items []Item) *ConflictGraph {
 		cg.adj[a] = append(cg.adj[a], b)
 		cg.adj[b] = append(cg.adj[b], a)
 	}
-	for _, group := range byKey {
-		for x := 0; x < len(group); x++ {
-			for y := x + 1; y < len(group); y++ {
-				link(group[x], group[y])
+	for _, c := range byKey {
+		for x := 0; x < len(c.excl); x++ {
+			for y := x + 1; y < len(c.excl); y++ {
+				link(c.excl[x], c.excl[y])
+			}
+			for _, r := range c.read {
+				if r != c.excl[x] {
+					link(c.excl[x], r)
+				}
 			}
 		}
 	}
@@ -179,12 +221,13 @@ func (cg *ConflictGraph) Waves() [][]int {
 // without materializing the conflict graph: the first precedence color
 // class, thinned by the shared-claim budgets. An update joins the wave iff
 //
-//   - no Solo update precedes it (a Solo update joins only from position 0,
+//   - no Solo op precedes it (a Solo op joins only from position 0,
 //     alone),
-//   - none of its exclusive keys were claimed by any earlier update —
-//     every update claims its exclusive keys whether it joined or not, so
-//     a blocked update also blocks its later conflicters and batch order
-//     is preserved — and
+//   - none of its exclusive keys were claimed — exclusively *or* read —
+//     by any earlier op, and none of its read keys were claimed
+//     exclusively by one (reads never block reads). Every op records its
+//     claims whether it joined or not, so a blocked op also blocks its
+//     later conflicters and batch order is preserved — and
 //   - for every shared claim, either the key is so far unused in this wave
 //     or adding the claim keeps the key's total within budget (a claim
 //     larger than the whole budget still gets the key to itself, or it
@@ -196,6 +239,7 @@ func (cg *ConflictGraph) Waves() [][]int {
 // looping over FirstWave always makes progress.
 func FirstWave(items []Item, budget int) []int {
 	claimed := make(map[int64]bool, 2*len(items))
+	readClaimed := make(map[int64]bool, 4)
 	usage := make(map[int64]int, 4)
 	var wave []int
 	for i, it := range items {
@@ -203,15 +247,23 @@ func FirstWave(items []Item, budget int) []int {
 			if i == 0 {
 				return []int{0}
 			}
-			// A solo update conflicts with everything: it cannot join past
+			// A solo op conflicts with everything: it cannot join past
 			// position 0, and nothing after it may jump ahead of it.
 			break
 		}
 		free := true
 		for _, k := range it.Excl {
-			if claimed[k] {
+			if claimed[k] || readClaimed[k] {
 				free = false
 				break
+			}
+		}
+		if free {
+			for _, k := range it.Read {
+				if claimed[k] {
+					free = false
+					break
+				}
 			}
 		}
 		if free && budget > 0 {
@@ -230,6 +282,9 @@ func FirstWave(items []Item, budget int) []int {
 		}
 		for _, k := range it.Excl {
 			claimed[k] = true
+		}
+		for _, k := range it.Read {
+			readClaimed[k] = true
 		}
 	}
 	return wave

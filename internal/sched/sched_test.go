@@ -65,14 +65,18 @@ func TestBuildConflictSolo(t *testing.T) {
 	}
 }
 
-// randomItems builds random exclusive-key items, optionally sprinkling
-// Solo markers.
+// randomItems builds random exclusive- and read-key items, optionally
+// sprinkling Solo markers.
 func randomItems(rng *rand.Rand, n, nkeys int, soloFrac float64) []Item {
 	items := make([]Item, n)
 	for i := range items {
 		nk := rng.Intn(4) // 0..3 keys, duplicates allowed
 		for j := 0; j < nk; j++ {
 			items[i].Excl = append(items[i].Excl, int64(rng.Intn(nkeys)))
+		}
+		nr := rng.Intn(3) // 0..2 read keys, may overlap the exclusive ones
+		for j := 0; j < nr; j++ {
+			items[i].Read = append(items[i].Read, int64(rng.Intn(nkeys)))
 		}
 		if rng.Float64() < soloFrac {
 			items[i].Solo = true
@@ -247,6 +251,81 @@ func TestFirstWaveExclBlocksLater(t *testing.T) {
 	if len(got) != 1 || got[0] != 0 {
 		t.Fatalf("FirstWave = %v, want [0]", got)
 	}
+}
+
+// TestBuildConflictRead pins the read-claim relation: readers of one key
+// never conflict with each other, a reader conflicts with every exclusive
+// claimant of its key in either batch order, and an item claiming a key
+// both ways behaves as an exclusive claimant.
+func TestBuildConflictRead(t *testing.T) {
+	items := []Item{
+		{Read: []int64{1}},                   // 0: reader
+		{Read: []int64{1}},                   // 1: reader — no conflict with 0
+		{Excl: []int64{1}},                   // 2: writer — conflicts with 0, 1
+		{Read: []int64{1}},                   // 3: reader after the writer
+		{Excl: []int64{2}, Read: []int64{2}}, // 4: excl subsumes the read
+		{Read: []int64{2}},                   // 5: conflicts with 4
+	}
+	cg := BuildConflict(items)
+	want := map[[2]int]bool{
+		{0, 2}: true, {1, 2}: true, {2, 3}: true, {4, 5}: true,
+	}
+	for i := 0; i < cg.N(); i++ {
+		if cg.Conflicts(i, i) {
+			t.Fatalf("item %d conflicts with itself", i)
+		}
+		for j := i + 1; j < cg.N(); j++ {
+			if got := cg.Conflicts(i, j); got != want[[2]int{i, j}] {
+				t.Fatalf("Conflicts(%d,%d) = %v, want %v", i, j, got, want[[2]int{i, j}])
+			}
+		}
+	}
+}
+
+// TestFirstWaveReadSharing pins the wave-formation rules for reads: any
+// number of readers of one key share a wave, a reader never overtakes a
+// conflicting earlier writer, and a blocked reader still blocks later
+// writers of its key (order preservation through reads).
+func TestFirstWaveReadSharing(t *testing.T) {
+	check := func(items []Item, want []int) {
+		t.Helper()
+		got := FirstWave(items, 0)
+		if len(got) != len(want) {
+			t.Fatalf("FirstWave = %v, want %v", got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("FirstWave = %v, want %v", got, want)
+			}
+		}
+	}
+	// Readers pack together; an unrelated writer joins too.
+	check([]Item{
+		{Read: []int64{1}},
+		{Read: []int64{1}},
+		{Read: []int64{1}},
+		{Excl: []int64{2}},
+	}, []int{0, 1, 2, 3})
+	// A writer at the head blocks its readers, but not readers of other keys.
+	check([]Item{
+		{Excl: []int64{1}},
+		{Read: []int64{1}},
+		{Read: []int64{2}},
+	}, []int{0, 2})
+	// A blocked reader blocks the later writer of its key: 1 is blocked by
+	// 0's write of key 1; 2 writes key 2, which 1 reads — 2 may not jump
+	// ahead of 1.
+	check([]Item{
+		{Excl: []int64{1}},
+		{Read: []int64{1, 2}},
+		{Excl: []int64{2}},
+	}, []int{0})
+	// A reader ahead of a writer of its key keeps the writer out of the
+	// wave (the read must see pre-write state).
+	check([]Item{
+		{Read: []int64{1}},
+		{Excl: []int64{1}},
+	}, []int{0})
 }
 
 // TestFirstWaveSolo pins the solo rules: a solo update joins only from
