@@ -1,5 +1,10 @@
 package dmpc
 
+import (
+	"math"
+	"sort"
+)
+
 // AutoBatcher is the adaptive batch-sizing driver deferred by PR 1: it
 // feeds an op stream through an ApplyBatch function (update-only streams)
 // or a Pipeline front door (mixed update/query streams) while growing or
@@ -52,6 +57,18 @@ package dmpc
 //   - Partial batches (a final Flush shorter than k) are applied and
 //     recorded but never drive adaptation: their amortized figure is not
 //     comparable against full batches.
+//   - Respect the tail bound, when TargetP99Rounds is set: amortized
+//     rounds/op is non-increasing in k, but every op of a chunk waits
+//     the chunk's whole window under back-to-back arrivals, so the
+//     amortized-optimal k is exactly wrong for tail latency. Each probe
+//     window's p99 is computed under that worst case (every op of a
+//     chunk observes the chunk's total rounds); a window violating the
+//     target halves k and lowers MaxK to the new k — a hard ceiling the
+//     climb and every later re-probe stay under — so the search
+//     minimizes rounds/op *subject to* the tail bound and settles on a
+//     smaller k than the unconstrained search whenever the bound bites.
+//     If even MinK violates the bound, the search settles there (the
+//     bound is unachievable; the batcher still minimizes what it can).
 type AutoBatcher struct {
 	apply        func(Batch) BatchStats
 	applyOps     func([]Op) (Results, MixedStats)
@@ -61,6 +78,7 @@ type AutoBatcher struct {
 	margin       float64
 	probeBatches int
 	reprobeEvery int
+	targetP99    int
 
 	k        int
 	dir      int     // +1 probing upward, 0 settled at the knee
@@ -73,6 +91,7 @@ type AutoBatcher struct {
 
 	// accumulators of the in-progress probe window at the current k
 	winRounds, winUpdates, winBatches int
+	winSamples                        []chunkSample // per-chunk (rounds, units), for the tail bound
 
 	buf     []Op
 	history []BatchStats
@@ -116,7 +135,16 @@ type AutoBatcherConfig struct {
 	// batches, so long-lived streams track workload drift (see the policy
 	// comment). 0 picks the default (32); negative disables re-probing.
 	ReprobeEvery int
+	// TargetP99Rounds, when positive, constrains the knee search to
+	// chunk sizes whose worst-case 99th-percentile rounds-from-arrival
+	// stays at or under this bound (see the policy comment): minimize
+	// rounds/op subject to the tail bound. 0 disables the constraint.
+	TargetP99Rounds int
 }
+
+// chunkSample is one full chunk's contribution to a probe window's tail
+// estimate: units ops that each observed the chunk's rounds end to end.
+type chunkSample struct{ rounds, units int }
 
 // NewAutoBatcher builds the driver. It panics if cfg.Apply is nil or the
 // clamps are inconsistent.
@@ -132,8 +160,12 @@ func NewAutoBatcher(cfg AutoBatcherConfig) *AutoBatcher {
 		maxK:         cfg.MaxK,
 		margin:       cfg.Margin,
 		probeBatches: cfg.ProbeBatches,
+		targetP99:    cfg.TargetP99Rounds,
 		dir:          +1,
 		bestA:        -1,
+	}
+	if ab.targetP99 < 0 {
+		ab.targetP99 = 0
 	}
 	if ab.minK < 1 {
 		ab.minK = 1
@@ -275,6 +307,29 @@ func (ab *AutoBatcher) RunOps(ops []Op) Results {
 	return append(out, res...)
 }
 
+// ApplyChunk applies one externally-formed chunk through the batcher —
+// the entry the streaming Ingestor flushes through: the Ingestor owns
+// the buffer (it cuts chunks on conflict, age and k), while the batcher
+// still records every chunk and adapts K on the full ones. full must be
+// true exactly when the chunk was cut by reaching K; chunks cut for any
+// other reason never drive adaptation, just as a partial Flush never
+// does. ApplyChunk requires ApplyOps mode and must not be interleaved
+// with a non-empty Push buffer (it panics on either misuse).
+func (ab *AutoBatcher) ApplyChunk(ops []Op, full bool) (Results, MixedStats) {
+	if ab.applyOps == nil {
+		panic("dmpc: AutoBatcher.ApplyChunk needs ApplyOps mode")
+	}
+	if len(ab.buf) > 0 {
+		panic("dmpc: AutoBatcher.ApplyChunk with ops still buffered by Push")
+	}
+	if len(ops) == 0 {
+		return nil, MixedStats{}
+	}
+	ab.buf = append(ab.buf, ops...)
+	res, _ := ab.flush(full)
+	return res, ab.mixed[len(ab.mixed)-1]
+}
+
 func (ab *AutoBatcher) flush(full bool) (Results, BatchStats) {
 	chunk := append([]Op(nil), ab.buf...)
 	ab.buf = ab.buf[:0]
@@ -320,6 +375,7 @@ func (ab *AutoBatcher) adapt(rounds, units, maxWords int) {
 		ab.dir = 0
 		ab.capBound = true
 		ab.winRounds, ab.winUpdates, ab.winBatches = 0, 0, 0
+		ab.winSamples = ab.winSamples[:0]
 		return
 	}
 	if ab.dir == 0 {
@@ -346,12 +402,35 @@ func (ab *AutoBatcher) adapt(rounds, units, maxWords int) {
 	}
 	ab.winRounds += rounds
 	ab.winUpdates += units
+	ab.winSamples = append(ab.winSamples, chunkSample{rounds: rounds, units: units})
 	ab.winBatches++
 	if ab.winBatches < ab.probeBatches {
 		return // window still filling
 	}
 	a := float64(ab.winRounds) / float64(ab.winUpdates)
+	tailBad := ab.targetP99 > 0 && ab.windowP99() > int64(ab.targetP99)
 	ab.winRounds, ab.winUpdates, ab.winBatches = 0, 0, 0
+	ab.winSamples = ab.winSamples[:0]
+	if tailBad {
+		// The tail bound binds at this k, whatever the amortized trend
+		// said: halve k and make the new k a hard ceiling, so neither
+		// the climb nor a later re-probe returns above it. A best window
+		// measured beyond the ceiling described an infeasible k — drop
+		// it. At MinK there is nothing left to shed: settle (the bound
+		// is unachievable).
+		if ab.k <= ab.minK {
+			ab.bestK = ab.minK
+			ab.dir = 0
+			return
+		}
+		ab.maxK = ab.clamp(ab.k / 2)
+		ab.k = ab.maxK
+		if ab.bestK > ab.maxK {
+			ab.bestK, ab.bestA = ab.k, -1
+		}
+		ab.strikes = 0
+		return
+	}
 	if ab.bestA < 0 || a <= ab.bestA*(1+ab.margin) {
 		// First window, or this k is not measurably worse than the best
 		// seen: record it if it is the new best, and keep growing unless
@@ -375,4 +454,31 @@ func (ab *AutoBatcher) adapt(rounds, units, maxWords int) {
 		ab.k = ab.bestK
 		ab.dir = 0
 	}
+}
+
+// windowP99 estimates the in-progress probe window's worst-case
+// 99th-percentile rounds-from-arrival: under back-to-back arrivals every
+// op of a chunk waits the chunk's whole window, so each recorded chunk
+// contributes units observations of its total rounds, and the weighted
+// nearest-rank p99 over them is the tail the TargetP99Rounds constraint
+// gates.
+func (ab *AutoBatcher) windowP99() int64 {
+	total := 0
+	for _, s := range ab.winSamples {
+		total += s.units
+	}
+	if total == 0 {
+		return 0
+	}
+	samples := append([]chunkSample(nil), ab.winSamples...)
+	sort.Slice(samples, func(i, j int) bool { return samples[i].rounds < samples[j].rounds })
+	rank := int(math.Ceil(0.99 * float64(total)))
+	cum := 0
+	for _, s := range samples {
+		cum += s.units
+		if cum >= rank {
+			return int64(s.rounds)
+		}
+	}
+	return int64(samples[len(samples)-1].rounds)
 }

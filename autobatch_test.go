@@ -1,6 +1,7 @@
 package dmpc
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 
@@ -463,4 +464,113 @@ func TestAutoBatcherFlushOps(t *testing.T) {
 	if _, ok := ab.Flush(); !ok {
 		t.Fatal("Flush on an update-only tail failed")
 	}
+}
+
+// TestAutoBatcherTargetP99CapsK pins the tail constraint on a scripted
+// curve where amortized rounds/update keep improving with k forever
+// (rounds per chunk grow like sqrt(k)), so the unconstrained search
+// climbs to MaxK — but the worst-case p99 (every op waits its chunk's
+// whole window) crosses TargetP99Rounds at k=32, so the constrained
+// search must back off to 16 and hold there: minimize rounds/op subject
+// to the tail bound.
+func TestAutoBatcherTargetP99CapsK(t *testing.T) {
+	mkFake := func() *fakeApply {
+		return &fakeApply{
+			// rounds(k) = 8·sqrt(k): 22 at k=8, 32 at k=16, 45 at k=32.
+			cost:  func(k int) float64 { return 8 / math.Sqrt(float64(k)) },
+			words: func(int) int { return 10 },
+		}
+	}
+	free := NewAutoBatcher(AutoBatcherConfig{
+		Apply: mkFake().apply, StartK: 8, MaxK: 512, ProbeBatches: 1, WarmupBatches: -1,
+	})
+	bound := NewAutoBatcher(AutoBatcherConfig{
+		Apply: mkFake().apply, StartK: 8, MaxK: 512, ProbeBatches: 1, WarmupBatches: -1,
+		TargetP99Rounds: 40,
+	})
+	for i := 0; i < 512*8; i++ {
+		up := Update{Op: Insert, U: i, V: i + 1}
+		free.Push(up)
+		bound.Push(up)
+	}
+	if free.K() != 512 {
+		t.Fatalf("unconstrained search settled at %d, want MaxK 512", free.K())
+	}
+	if bound.K() != 16 {
+		t.Fatalf("constrained search settled at %d, want 16 (trajectory %v)", bound.K(), bound.Ks())
+	}
+	for i, k := range bound.Ks() {
+		if k > 32 {
+			t.Fatalf("batch %d ran at k=%d, above the first tail violation (trajectory %v)",
+				i, k, bound.Ks())
+		}
+	}
+}
+
+// TestAutoBatcherTargetP99Unachievable pins the degenerate case: when
+// even MinK violates the bound, the search settles at MinK instead of
+// thrashing.
+func TestAutoBatcherTargetP99Unachievable(t *testing.T) {
+	f := &fakeApply{
+		cost:  func(k int) float64 { return 100 / float64(k) }, // 100 rounds per chunk at any k
+		words: func(int) int { return 10 },
+	}
+	ab := NewAutoBatcher(AutoBatcherConfig{
+		Apply: f.apply, StartK: 8, MinK: 2, MaxK: 64, ProbeBatches: 1, WarmupBatches: -1,
+		TargetP99Rounds: 40,
+	})
+	for i := 0; i < 400; i++ {
+		ab.Push(Update{Op: Insert, U: i, V: i + 1})
+	}
+	if ab.K() != 2 {
+		t.Fatalf("unachievable bound settled at %d, want MinK 2 (trajectory %v)", ab.K(), ab.Ks())
+	}
+}
+
+// TestAutoBatcherApplyChunk pins the externally-formed-chunk entry: full
+// chunks feed the knee search exactly like Push-cut chunks, non-full
+// chunks are recorded but never adapt, and the guards reject misuse.
+func TestAutoBatcherApplyChunk(t *testing.T) {
+	cc := NewConnectivity(32, 128)
+	ab := NewAutoBatcher(AutoBatcherConfig{ApplyOps: cc.Apply, StartK: 4, ProbeBatches: 1, WarmupBatches: -1})
+	// Partial chunks: recorded, no adaptation.
+	for i := 0; i < 6; i += 2 {
+		if _, st := ab.ApplyChunk([]Op{Ins(i, i+1), QConnected(i, i+1)}, false); st.Ops != 2 {
+			t.Fatalf("chunk window covers %d ops, want 2", st.Ops)
+		}
+	}
+	if ab.K() != 4 {
+		t.Fatalf("non-full chunks adapted k to %d", ab.K())
+	}
+	if len(ab.MixedHistory()) != 3 || len(ab.Ks()) != 3 {
+		t.Fatalf("chunks not recorded: %d windows, %d ks", len(ab.MixedHistory()), len(ab.Ks()))
+	}
+	// Full chunks drive the search: k grows off a full window.
+	for k := ab.K(); ab.K() == k; {
+		chunk := make([]Op, ab.K())
+		for j := range chunk {
+			chunk[j] = QComponentOf(j)
+		}
+		ab.ApplyChunk(chunk, true)
+	}
+	if ab.K() <= 4 {
+		t.Fatalf("full chunks did not grow k: %d", ab.K())
+	}
+	wantPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	wantPanic("ApplyChunk in update mode", func() {
+		up := NewAutoBatcher(AutoBatcherConfig{Apply: func(Batch) BatchStats { return BatchStats{} }})
+		up.ApplyChunk([]Op{Ins(0, 1)}, false)
+	})
+	wantPanic("ApplyChunk with a dirty Push buffer", func() {
+		ab.PushOp(Ins(20, 21))
+		ab.ApplyChunk([]Op{Ins(22, 23)}, false)
+	})
 }

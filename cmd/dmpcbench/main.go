@@ -405,11 +405,11 @@ func autoTable(n, nUpdates int, seed int64) []autoRow {
 		mk   func() (func(dmpc.Batch) dmpc.BatchStats, *mpc.Cluster)
 	}{
 		{"Connected comps (§5)", func() (func(dmpc.Batch) dmpc.BatchStats, *mpc.Cluster) {
-			d := dmpc.NewConnectivity(n, capEdges)
+			d := dyncon.New(dyncon.Config{N: n, Mode: dyncon.CC, ExpectedEdges: capEdges})
 			return d.ApplyBatch, d.Cluster()
 		}},
 		{"Maximal matching (§3)", func() (func(dmpc.Batch) dmpc.BatchStats, *mpc.Cluster) {
-			m := dmpc.NewMaximalMatching(n, capEdges)
+			m := dmm.New(dmm.Config{N: n, CapEdges: capEdges})
 			return m.ApplyBatch, m.Cluster()
 		}},
 	}
@@ -812,6 +812,9 @@ type benchReport struct {
 	Queries  []jsonQuery `json:"queries,omitempty"`
 	Mixed    []mixedRow  `json:"mixed,omitempty"`
 	Sweep    []sweepRow  `json:"sweep,omitempty"`
+
+	Arrivals    []arrivalRow     `json:"arrivals,omitempty"`
+	LatencyAuto []latencyAutoRow `json:"latency_autobatch,omitempty"`
 }
 
 // buildReport assembles the machine-readable measurement document.
@@ -919,8 +922,41 @@ func checkBaseline(rep benchReport, path string, tol float64) error {
 				m.Name, m.K, m.Ratio)
 		}
 	}
+	// Streaming-latency regression: the p99 rounds-from-arrival at the
+	// k=64 batch bound may not drift past the snapshot, and the
+	// tail-constrained AutoBatcher must keep settling at a smaller k than
+	// the unconstrained search — the latency headline is an invariant.
+	type akey struct {
+		name, gen string
+		k         int
+	}
+	arrBase := make(map[akey]int64, len(want.Arrivals))
+	for _, a := range want.Arrivals {
+		arrBase[akey{a.Name, a.Gen, a.K}] = a.P99
+	}
+	for _, a := range rep.Arrivals {
+		if a.K != 64 {
+			continue
+		}
+		wantP, ok := arrBase[akey{a.Name, a.Gen, a.K}]
+		if !ok {
+			continue
+		}
+		matched++
+		if float64(a.P99) > float64(wantP)*(1+tol) {
+			return fmt.Errorf("%s (%s, k=%d): latency p99 %d rounds regressed past snapshot %d by more than %.0f%% (%s)",
+				a.Name, a.Gen, a.K, a.P99, wantP, tol*100, path)
+		}
+	}
+	for _, l := range rep.LatencyAuto {
+		matched++
+		if l.BoundK >= l.FreeK {
+			return fmt.Errorf("%s (%s): TargetP99Rounds=%d no longer settles below the unconstrained k (bound %d vs free %d)",
+				l.Name, l.Gen, l.Target, l.BoundK, l.FreeK)
+		}
+	}
 	if matched == 0 {
-		return fmt.Errorf("%s: no batch or mixed rows matched this run (was the snapshot generated with -batch/-mixed?)", path)
+		return fmt.Errorf("%s: no batch, mixed or arrival rows matched this run (was the snapshot generated with -batch/-mixed/-arrivals?)", path)
 	}
 	return nil
 }
@@ -1012,6 +1048,7 @@ func main() {
 	doAuto := flag.Bool("autobatch", false, "run the AutoBatcher adaptive batch-sizing driver and report its k trajectory")
 	queries := flag.Int("queries", 0, "measure the mixed read/write workload with up to this many protocol queries per run")
 	doMixed := flag.Bool("mixed", false, "measure the unified op pipeline (in-wave reads) against the quiescence split at k in {8,64,256}")
+	doArrivals := flag.Bool("arrivals", false, "measure streaming ingestion latency (p50/p95/p99 rounds from arrival) at batch bounds k in {8,64,256} plus the tail-constrained AutoBatcher comparison")
 	readfrac := flag.Float64("readfrac", 0.5, "target read fraction of the mixed workload")
 	asJSON := flag.Bool("json", false, "emit the measurements as JSON")
 	baseline := flag.String("baseline", "", "committed BENCH_*.json snapshot to compare amortized batch rounds against; exit nonzero on >tolerance regression")
@@ -1052,7 +1089,15 @@ func main() {
 	if *doSweep {
 		srows = sweepRows(*seed)
 	}
+	var arrRows []arrivalRow
+	var latRows []latencyAutoRow
+	if *doArrivals {
+		arrRows = arrivalTable(*n, *updates, *seed)
+		latRows = latencyAutoTable(*n, *updates, *seed)
+	}
 	rep := buildReport(rows, brows, shrows, arows, qrows, mrows, srows, *n, *updates, *batch, queryUpdK, *readfrac, *seed)
+	rep.Arrivals = arrRows
+	rep.LatencyAuto = latRows
 	if *baseline != "" {
 		if err := checkBaseline(rep, *baseline, *tolerance); err != nil {
 			fmt.Fprintln(os.Stderr, "dmpcbench: bench regression:", err)
@@ -1080,6 +1125,9 @@ func main() {
 	}
 	if *doMixed {
 		printMixedTable(mrows, *readfrac)
+	}
+	if *doArrivals {
+		printArrivalTable(arrRows, latRows)
 	}
 	staticBaselines(*n, *seed)
 	if *doSweep {

@@ -41,6 +41,23 @@
 // which is where mixed workloads beat the split read/write paths (see
 // cmd/dmpcbench -mixed and BENCH_0005.json).
 //
+// # Streaming ingestion
+//
+// When ops arrive over time rather than as a prepared slice, the Ingestor
+// (see ingest.go) is the front door: it consumes timestamped Arrivals
+// from a min-heap, admits each into the currently-forming wave set while
+// its schedule claims don't conflict with the set's, and flushes the
+// partial stream through Apply when a conflicting op arrives, an op ages
+// past MaxAge, or the set reaches the batch bound (fixed MaxBatch or an
+// AutoBatcher's adaptive k, optionally tail-constrained by
+// TargetP99Rounds). StreamStats attributes to every op its
+// rounds-from-arrival-to-answer latency (p50/p95/p99). Apply itself is
+// the zero-inter-arrival special case of this loop, so batch and
+// streaming callers share one code path; the FuzzArrivalEquivalence
+// harnesses pin that any arrival schedule yields answers bit-identical
+// to Apply on the full slice. See cmd/dmpcbench -arrivals and
+// BENCH_0006.json for the latency picture.
+//
 // The pre-redesign surface remains as thin deprecated wrappers delegating
 // to Apply: ApplyBatch is the write-only projection (a Batch shares one
 // BatchStats round-accounting window and non-conflicting updates
@@ -64,6 +81,7 @@ import (
 	"dmpc/internal/core/dyncon"
 	"dmpc/internal/graph"
 	"dmpc/internal/mpc"
+	"dmpc/internal/sched"
 )
 
 // Re-exported building blocks.
@@ -143,6 +161,32 @@ var (
 	CountOps = graph.CountOps
 )
 
+// Op construction helpers — the ergonomic spellings of the constructors
+// above, so workload code reads as the ops it performs.
+
+// Ins returns an insert op for the unit-weight edge (u,v); use InsW for
+// a weighted insert (MST workloads).
+func Ins(u, v int) Op { return graph.OpIns(u, v, 1) }
+
+// InsW returns an insert op for the edge (u,v) with weight w.
+func InsW(u, v int, w Weight) Op { return graph.OpIns(u, v, w) }
+
+// Del returns a delete op for the edge (u,v).
+func Del(u, v int) Op { return graph.OpDel(u, v) }
+
+// QConnected returns a connectivity query op: are u and v in one
+// component?
+func QConnected(u, v int) Op { return graph.OpQConnected(u, v) }
+
+// QComponentOf returns a component-label query op for v.
+func QComponentOf(v int) Op { return graph.OpQComponentOf(v) }
+
+// QMateOf returns a mate query op for v (-1 answers "free").
+func QMateOf(v int) Op { return graph.OpQMateOf(v) }
+
+// QMatched returns a matched-edge query op: is (u,v) in the matching?
+func QMatched(u, v int) Op { return graph.OpQMatched(u, v) }
+
 // Chunk splits an update stream into consecutive batches of at most k
 // updates, preserving order.
 func Chunk(updates []Update, k int) []Batch { return graph.Chunk(updates, k) }
@@ -176,23 +220,50 @@ var (
 )
 
 // pipe is the facade plumbing shared by all four structures — the one
-// copy of the Apply front door and the Cluster accessor that used to be
-// duplicated per structure.
+// copy of the Apply front door, the per-op claims oracle the Ingestor
+// admits arrivals with, and the Cluster accessor.
 type pipe struct {
-	apply func([]graph.Op) (graph.Results, mpc.MixedStats)
-	cl    *mpc.Cluster
+	apply  func([]graph.Op) (graph.Results, mpc.MixedStats)
+	claims func(graph.Op) sched.Item
+	cl     *mpc.Cluster
 }
 
-func newPipe(apply func([]graph.Op) (graph.Results, mpc.MixedStats), cl *mpc.Cluster) pipe {
-	return pipe{apply: apply, cl: cl}
+func newPipe(apply func([]graph.Op) (graph.Results, mpc.MixedStats), claims func(graph.Op) sched.Item, cl *mpc.Cluster) pipe {
+	return pipe{apply: apply, claims: claims, cl: cl}
 }
 
 // Apply processes a mixed op stream through the structure's scheduled
 // pipeline in one MixedStats window; see Pipeline.
-func (p pipe) Apply(ops []Op) (Results, MixedStats) { return p.apply(ops) }
+//
+// Apply is the zero-inter-arrival special case of streaming ingestion:
+// the stream is timestamped at time zero and pushed through a degenerate
+// Ingestor (no admission control, no age or size bound), whose single
+// tail flush runs the whole slice through the scheduled pipeline in one
+// window. Batch and streaming callers therefore exercise one code path
+// and cannot drift.
+func (p pipe) Apply(ops []Op) (Results, MixedStats) {
+	if len(ops) == 0 {
+		return p.apply(ops)
+	}
+	ing := newIngestor(p, IngestorConfig{}, false)
+	for _, op := range ops {
+		ing.Push(Arrival{At: 0, Op: op})
+	}
+	res, st := ing.Close()
+	return res, st.Windows[0]
+}
 
 // Cluster exposes the underlying cluster accounting.
 func (p pipe) Cluster() *Cluster { return p.cl }
+
+// rawApply is the un-ingested scheduled pipeline — what an Ingestor
+// flush calls, so routing Apply through a degenerate Ingestor cannot
+// recurse.
+func (p pipe) rawApply(ops []Op) (Results, MixedStats) { return p.apply(ops) }
+
+// streamClaims exposes the structure's per-op claims oracle to the
+// Ingestor's admission control.
+func (p pipe) streamClaims() func(graph.Op) sched.Item { return p.claims }
 
 // applyBatch is the shared deprecated ApplyBatch wrapper: the write-only
 // projection of Apply.
@@ -211,7 +282,7 @@ type Connectivity struct {
 // n vertices, sized for expectedEdges simultaneous edges (0 = default).
 func NewConnectivity(n, expectedEdges int) *Connectivity {
 	d := dyncon.New(dyncon.Config{N: n, Mode: dyncon.CC, ExpectedEdges: expectedEdges})
-	return &Connectivity{pipe: newPipe(d.ApplyOps, d.Cluster()), d: d}
+	return &Connectivity{pipe: newPipe(d.ApplyOps, d.StreamItem, d.Cluster()), d: d}
 }
 
 // Insert adds an edge, returning the update's accounting.
@@ -222,28 +293,30 @@ func (c *Connectivity) Delete(u, v int) UpdateStats { return c.d.Delete(u, v) }
 
 // Connected answers a connectivity query through the cluster.
 //
-// Deprecated: a read-only projection of Apply; use Apply with an
-// OpQConnected op (possibly mixed into an update stream).
+// Deprecated: Use Apply with QConnected ops, or Ingest for streaming
+// arrivals.
 func (c *Connectivity) Connected(u, v int) bool { return c.ConnectedBatch([]Pair{{U: u, V: v}})[0] }
 
 // ConnectedBatch answers k connectivity queries in one shared
 // scatter/gather window, amortizing the round cost to 2/k per query.
 // Answers are positional.
 //
-// Deprecated: a read-only projection of Apply; use Apply.
+// Deprecated: Use Apply with QConnected ops, or Ingest for streaming
+// arrivals.
 func (c *Connectivity) ConnectedBatch(pairs []Pair) []bool { return c.pipe.connectedBatch(pairs) }
 
 // ApplyBatch applies a batch of updates in one shared round window,
 // running component-disjoint updates concurrently.
 //
-// Deprecated: the write-only projection of Apply; use Apply.
+// Deprecated: Use Apply with Ins/Del ops (see UpdateOps), or Ingest for
+// streaming arrivals.
 func (c *Connectivity) ApplyBatch(b Batch) BatchStats { return c.applyBatch(b) }
 
 // ComponentOf returns v's component label, as a one-round protocol query
 // through the cluster.
 //
-// Deprecated: a read-only projection of Apply; use Apply with an
-// OpQComponentOf op.
+// Deprecated: Use Apply with QComponentOf ops, or Ingest for streaming
+// arrivals.
 func (c *Connectivity) ComponentOf(v int) int64 { return c.pipe.componentOf(v) }
 
 // CompOf returns v's component label by driver-side oracle access —
@@ -261,7 +334,7 @@ type MST struct {
 // NewMST builds a fully-dynamic MSF structure.
 func NewMST(n int, eps float64, expectedEdges int) *MST {
 	d := dyncon.New(dyncon.Config{N: n, Mode: dyncon.MST, Eps: eps, ExpectedEdges: expectedEdges})
-	return &MST{pipe: newPipe(d.ApplyOps, d.Cluster()), d: d}
+	return &MST{pipe: newPipe(d.ApplyOps, d.StreamItem, d.Cluster()), d: d}
 }
 
 // Insert adds a weighted edge.
@@ -272,7 +345,8 @@ func (m *MST) Delete(u, v int) UpdateStats { return m.d.Delete(u, v) }
 
 // ApplyBatch applies a batch of updates in one shared round window.
 //
-// Deprecated: the write-only projection of Apply; use Apply.
+// Deprecated: Use Apply with Ins/Del ops (see UpdateOps), or Ingest for
+// streaming arrivals.
 func (m *MST) ApplyBatch(b Batch) BatchStats { return m.applyBatch(b) }
 
 // Weight returns the maintained forest's total (bucketed) weight
@@ -285,14 +359,15 @@ func (m *MST) ForestEdges() []graph.WEdge { return m.d.ForestEdges() }
 
 // Connected answers connectivity through the cluster.
 //
-// Deprecated: a read-only projection of Apply; use Apply with an
-// OpQConnected op.
+// Deprecated: Use Apply with QConnected ops, or Ingest for streaming
+// arrivals.
 func (m *MST) Connected(u, v int) bool { return m.ConnectedBatch([]Pair{{U: u, V: v}})[0] }
 
 // ConnectedBatch answers k connectivity queries in one shared
 // scatter/gather window.
 //
-// Deprecated: a read-only projection of Apply; use Apply.
+// Deprecated: Use Apply with QConnected ops, or Ingest for streaming
+// arrivals.
 func (m *MST) ConnectedBatch(pairs []Pair) []bool { return m.pipe.connectedBatch(pairs) }
 
 // connectedBatch and componentOf are the dyncon-backed read projections
@@ -351,14 +426,14 @@ type MaximalMatching struct {
 // capEdges simultaneous edges.
 func NewMaximalMatching(n, capEdges int) *MaximalMatching {
 	m := dmm.New(dmm.Config{N: n, CapEdges: capEdges})
-	return &MaximalMatching{pipe: newPipe(m.ApplyOps, m.Cluster()), m: m}
+	return &MaximalMatching{pipe: newPipe(m.ApplyOps, m.StreamItem, m.Cluster()), m: m}
 }
 
 // NewThreeHalvesMatching builds the §4 structure: a 3/2-approximate
 // maximum matching (the graph must start empty, which it does).
 func NewThreeHalvesMatching(n, capEdges int) *MaximalMatching {
 	m := dmm.New(dmm.Config{N: n, CapEdges: capEdges, ThreeHalves: true})
-	return &MaximalMatching{pipe: newPipe(m.ApplyOps, m.Cluster()), m: m}
+	return &MaximalMatching{pipe: newPipe(m.ApplyOps, m.StreamItem, m.Cluster()), m: m}
 }
 
 // Insert adds an edge.
@@ -371,7 +446,8 @@ func (mm *MaximalMatching) Delete(u, v int) UpdateStats { return mm.m.Delete(u, 
 // the shared wave scheduler; the resulting matching is identical to
 // applying the updates one at a time.
 //
-// Deprecated: the write-only projection of Apply; use Apply.
+// Deprecated: Use Apply with Ins/Del ops (see UpdateOps), or Ingest for
+// streaming arrivals.
 func (mm *MaximalMatching) ApplyBatch(b Batch) BatchStats { return mm.applyBatch(b) }
 
 // ApplyBatchChained applies a batch through the PR 1 coordinator-chaining
@@ -383,19 +459,20 @@ func (mm *MaximalMatching) ApplyBatchChained(b Batch) BatchStats { return mm.m.A
 // MateOf answers "who is v matched to?" (-1 = free) as a one-round
 // protocol query at v's statistics machine.
 //
-// Deprecated: a read-only projection of Apply; use Apply with an
-// OpQMateOf op.
+// Deprecated: Use Apply with QMateOf ops, or Ingest for streaming
+// arrivals.
 func (mm *MaximalMatching) MateOf(v int) int { return mm.mateOfBatch([]int{v})[0] }
 
 // MateOfBatch answers k mate queries in one shared one-round window.
 //
-// Deprecated: a read-only projection of Apply; use Apply.
+// Deprecated: Use Apply with QMateOf ops, or Ingest for streaming
+// arrivals.
 func (mm *MaximalMatching) MateOfBatch(vs []int) []int { return mm.pipe.mateOfBatch(vs) }
 
 // Matched reports whether (u,v) is in the matching, as a protocol query.
 //
-// Deprecated: a read-only projection of Apply; use Apply with an
-// OpQMatched op.
+// Deprecated: Use Apply with QMatched ops, or Ingest for streaming
+// arrivals.
 func (mm *MaximalMatching) Matched(u, v int) bool { return mm.pipe.matched(u, v) }
 
 // MateTable returns the current matching as a mate table (-1 = free) by
@@ -409,10 +486,24 @@ type AlmostMaximalMatching struct {
 	m *amm.M
 }
 
+// ammStreamItem is the coarse claims oracle of the §6 structure: its
+// epoch scheduler rebuilds data-dependent slices of the matching, so the
+// safe schedule-time view is endpoint-level — updates hold both
+// endpoints exclusively, reads hold their vertex read-shared. Coarser
+// claims only cut the forming stream earlier (Apply itself orders every
+// flushed chunk correctly), so this errs toward latency, never
+// correctness.
+func ammStreamItem(op graph.Op) sched.Item {
+	if op.IsQuery() {
+		return sched.Item{Read: []int64{int64(op.U)}}
+	}
+	return sched.Item{Excl: []int64{int64(op.U), int64(op.V)}}
+}
+
 // NewAlmostMaximalMatching builds the §6 structure.
 func NewAlmostMaximalMatching(n int, eps float64, seed int64) *AlmostMaximalMatching {
 	m := amm.New(amm.Config{N: n, Eps: eps, Seed: seed})
-	return &AlmostMaximalMatching{pipe: newPipe(m.ApplyOps, m.Cluster()), m: m}
+	return &AlmostMaximalMatching{pipe: newPipe(m.ApplyOps, ammStreamItem, m.Cluster()), m: m}
 }
 
 // Insert adds an edge.
@@ -429,19 +520,20 @@ func (am *AlmostMaximalMatching) ApplyBatch(b Batch) BatchStats { return am.m.Ap
 // MateOf answers "who is v matched to?" (-1 = free) as a one-round
 // protocol query at v's owner machine.
 //
-// Deprecated: a read-only projection of Apply; use Apply with an
-// OpQMateOf op.
+// Deprecated: Use Apply with QMateOf ops, or Ingest for streaming
+// arrivals.
 func (am *AlmostMaximalMatching) MateOf(v int) int { return am.mateOfBatch([]int{v})[0] }
 
 // MateOfBatch answers k mate queries in one shared one-round window.
 //
-// Deprecated: a read-only projection of Apply; use Apply.
+// Deprecated: Use Apply with QMateOf ops, or Ingest for streaming
+// arrivals.
 func (am *AlmostMaximalMatching) MateOfBatch(vs []int) []int { return am.pipe.mateOfBatch(vs) }
 
 // Matched reports whether (u,v) is in the matching, as a protocol query.
 //
-// Deprecated: a read-only projection of Apply; use Apply with an
-// OpQMatched op.
+// Deprecated: Use Apply with QMatched ops, or Ingest for streaming
+// arrivals.
 func (am *AlmostMaximalMatching) Matched(u, v int) bool { return am.pipe.matched(u, v) }
 
 // MateTable returns the current matching as a mate table (-1 = free) by

@@ -16,13 +16,13 @@ func ExamplePipeline() {
 	cc := dmpc.NewConnectivity(8, 32)
 
 	ops := []dmpc.Op{
-		dmpc.OpIns(0, 1, 1),
-		dmpc.OpIns(2, 3, 1),
-		dmpc.OpQConnected(0, 3), // before the bridge: false
-		dmpc.OpIns(1, 2, 1),     // the bridge
-		dmpc.OpQConnected(0, 3), // after the bridge: true
-		dmpc.OpDel(1, 2),
-		dmpc.OpQConnected(0, 3), // bridge gone again: false
+		dmpc.Ins(0, 1),
+		dmpc.Ins(2, 3),
+		dmpc.QConnected(0, 3), // before the bridge: false
+		dmpc.Ins(1, 2),        // the bridge
+		dmpc.QConnected(0, 3), // after the bridge: true
+		dmpc.Del(1, 2),
+		dmpc.QConnected(0, 3), // bridge gone again: false
 	}
 	res, st := cc.Apply(ops)
 

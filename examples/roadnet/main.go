@@ -59,7 +59,7 @@ func main() {
 	fmt.Printf("after construction: MST weight %d vs exact %d (ratio %.3f, bound 1+ε=%.2f)\n",
 		approx, exact, float64(exact)/float64(approx), 1+eps)
 	fmt.Printf("worst update during construction: %d rounds (O(1) as promised)\n", worstRounds)
-	if !mst.Connected(0, n-1) {
+	if res, _ := mst.Apply([]dmpc.Op{dmpc.QConnected(0, n-1)}); !res[0].Bool {
 		fmt.Println("warning: network disconnected!")
 	}
 }

@@ -56,5 +56,6 @@ func main() {
 		len(sizes), graph.NumComponents(g), largest)
 	fmt.Printf("mean rounds/event: %.2f; comm entropy %.2f bits (§8 metric)\n",
 		float64(sumRounds)/float64(len(stream)), cc.Cluster().CommEntropy())
-	fmt.Println("sample query: page 0 reaches page 42?", cc.Connected(0, 42))
+	res, _ := cc.Apply([]dmpc.Op{dmpc.QConnected(0, 42)})
+	fmt.Println("sample query: page 0 reaches page 42?", res[0].Bool)
 }

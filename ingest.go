@@ -1,0 +1,287 @@
+package dmpc
+
+import (
+	"fmt"
+
+	"dmpc/internal/graph"
+	"dmpc/internal/mpc"
+	"dmpc/internal/sched"
+)
+
+// Streaming re-exports.
+type (
+	// Arrival is one timestamped op of an asynchronous stream: Op arrives
+	// at virtual time At (in cluster rounds).
+	Arrival = graph.Arrival
+	// StreamStats is the accounting window of one ingested stream:
+	// amortized rounds/op plus per-op arrival-to-answer latency
+	// percentiles, flush counts by trigger, and per-flush mixed windows.
+	StreamStats = mpc.StreamStats
+)
+
+// Arrival-schedule generators, re-exported for workload building.
+var (
+	// ArrivalsNow timestamps a whole op stream at time zero — the
+	// schedule under which Ingest coincides exactly with Apply.
+	ArrivalsNow = graph.ArrivalsNow
+	// PoissonArrivals timestamps a stream with exponential inter-arrival
+	// gaps of a given mean (in rounds).
+	PoissonArrivals = graph.PoissonArrivals
+	// BurstyArrivals timestamps a stream as bursts of back-to-back ops
+	// separated by lulls.
+	BurstyArrivals = graph.BurstyArrivals
+	// NewArrivalHeap builds the min-heap Ingest consumes arrivals from.
+	NewArrivalHeap = graph.NewArrivalHeap
+)
+
+// IngestorConfig configures NewIngestor. Pipeline is required; zero
+// values elsewhere disable the corresponding flush trigger.
+type IngestorConfig struct {
+	// Pipeline is the structure the stream flows into. The facade's own
+	// structures additionally expose their per-op claims oracle to the
+	// ingestor (conflict admission); a foreign Pipeline implementation
+	// ingests without admission control — only the age and size bounds
+	// cut the stream.
+	Pipeline Pipeline
+	// MaxBatch flushes the forming set when it holds this many ops (the
+	// k bound). 0 means unbounded; ignored when Auto is set, which sizes
+	// k adaptively.
+	MaxBatch int
+	// MaxAge flushes the forming set the moment its oldest op has waited
+	// this many rounds (measured on the virtual clock). 0 disables the
+	// age bound.
+	MaxAge int64
+	// Auto, when set, applies every flush through the AutoBatcher — k
+	// tracks its live knee search (only k-bound flushes feed the search,
+	// exactly as partial Flush never adapts) — and must have been built
+	// in ApplyOps mode over this same Pipeline's Apply.
+	Auto *AutoBatcher
+}
+
+// Ingestor is the streaming front door over a Pipeline — the event loop
+// the batch entry points are special cases of. It consumes timestamped
+// arrivals in time order, admits each op into the currently-forming wave
+// set while the op's schedule-time claims don't conflict with the set
+// (the sched.Admitter rules, i.e. exactly when the scheduled pipeline
+// could run them in one wave anyway), and flushes the set through
+// Pipeline.Apply when an arrival is refused admission, the set reaches
+// the batch-size bound, the oldest forming op reaches the age bound, or
+// the stream closes.
+//
+// Time is virtual, measured in cluster rounds: a flush triggered at time
+// t starts at max(t, completion of the previous flush) and completes its
+// window's rounds later, and every op in it observed latency completion
+// − arrival. Close returns those latencies' percentiles in StreamStats,
+// next to the amortized rounds/op the batch view reports — the two
+// disagree under load, which is what the AutoBatcher's TargetP99Rounds
+// constraint trades on.
+//
+// Answers are positional over the whole stream's queries in arrival
+// order, exactly as Apply's are over a slice; end state and answers are
+// bit-identical to Apply on the full slice for every arrival schedule
+// (pinned by the FuzzArrivalEquivalence harnesses).
+type Ingestor struct {
+	p      Pipeline
+	raw    func([]Op) (Results, MixedStats)
+	claims func(graph.Op) sched.Item
+	auto   *AutoBatcher
+
+	maxBatch int
+	maxAge   int64
+
+	adm       *sched.Admitter
+	forming   []Op
+	formingAt []int64
+
+	now    int64 // virtual clock: completion time of the last flush
+	lastAt int64 // latest arrival seen, for monotonicity + tail flush
+	closed bool
+
+	res   Results
+	stats StreamStats
+}
+
+// Flush triggers, recorded per flush in StreamStats.
+const (
+	flushConflict = iota // an arrival's claims were refused admission
+	flushFull            // the forming set reached k
+	flushAge             // the oldest forming op reached MaxAge
+	flushTail            // Close drained the stream
+)
+
+// NewIngestor builds the streaming front door. It panics if cfg.Pipeline
+// is nil or cfg.Auto was built without ApplyOps.
+func NewIngestor(cfg IngestorConfig) *Ingestor {
+	if cfg.Pipeline == nil {
+		panic("dmpc: NewIngestor needs a Pipeline")
+	}
+	if cfg.Auto != nil && cfg.Auto.applyOps == nil {
+		panic("dmpc: Ingestor needs an ApplyOps-mode AutoBatcher")
+	}
+	return newIngestor(cfg.Pipeline, cfg, true)
+}
+
+// newIngestor is the shared constructor; admission false builds the
+// degenerate ingestor Apply routes through (no claims, no bounds — one
+// tail flush).
+func newIngestor(p Pipeline, cfg IngestorConfig, admission bool) *Ingestor {
+	ing := &Ingestor{
+		p:        p,
+		maxBatch: cfg.MaxBatch,
+		maxAge:   cfg.MaxAge,
+		auto:     cfg.Auto,
+	}
+	if rp, ok := p.(interface {
+		rawApply([]Op) (Results, MixedStats)
+	}); ok {
+		ing.raw = rp.rawApply
+	} else {
+		ing.raw = p.Apply
+	}
+	budget := 0
+	if cl := p.Cluster(); cl != nil {
+		budget = cl.MemWords()
+	}
+	ing.adm = sched.NewAdmitter(budget)
+	if admission {
+		if cp, ok := p.(interface {
+			streamClaims() func(graph.Op) sched.Item
+		}); ok {
+			ing.claims = cp.streamClaims()
+		}
+	}
+	return ing
+}
+
+// k returns the live batch-size bound: the AutoBatcher's current K when
+// one drives the flushes, else MaxBatch (0 = unbounded).
+func (ing *Ingestor) k() int {
+	if ing.auto != nil {
+		return ing.auto.K()
+	}
+	return ing.maxBatch
+}
+
+// Now returns the virtual clock: the completion time (in rounds) of the
+// last flush.
+func (ing *Ingestor) Now() int64 { return ing.now }
+
+// Pending returns the number of ops in the currently-forming set.
+func (ing *Ingestor) Pending() int { return len(ing.forming) }
+
+// Stats returns a snapshot of the stream accounting so far; latencies of
+// ops still forming appear only after the flush that answers them.
+func (ing *Ingestor) Stats() StreamStats { return ing.stats }
+
+// Push feeds one arrival into the event loop. Arrivals must be pushed in
+// time order (use Ingest, which consumes a heap, when the source does
+// not sort); Push panics on a time regression or a closed ingestor.
+func (ing *Ingestor) Push(a Arrival) {
+	if ing.closed {
+		panic("dmpc: Push on a closed Ingestor")
+	}
+	if a.At < ing.lastAt {
+		panic(fmt.Sprintf("dmpc: Ingestor arrivals out of order (%d after %d)", a.At, ing.lastAt))
+	}
+	ing.lastAt = a.At
+	// Age bound: the oldest forming op must not wait past MaxAge, so the
+	// set flushed at that deadline, before this arrival's time.
+	if len(ing.forming) > 0 && ing.maxAge > 0 && a.At >= ing.formingAt[0]+ing.maxAge {
+		ing.flushAt(ing.formingAt[0]+ing.maxAge, flushAge)
+	}
+	// Conflict admission: an op whose claims collide with the forming
+	// set would serialize behind it inside one window anyway, so cut the
+	// window now — the set's ops answer sooner and the newcomer starts a
+	// fresh set. Claims are read against the post-last-flush quiescent
+	// state (the FirstWave convention), so they are recomputed after a
+	// conflict flush moves that state.
+	if ing.claims != nil {
+		if !ing.adm.Admit(ing.claims(a.Op)) {
+			ing.flushAt(a.At, flushConflict)
+			ing.adm.Admit(ing.claims(a.Op)) // fresh set: always admits
+		}
+	}
+	ing.forming = append(ing.forming, a.Op)
+	ing.formingAt = append(ing.formingAt, a.At)
+	if k := ing.k(); k > 0 && len(ing.forming) >= k {
+		ing.flushAt(a.At, flushFull)
+	}
+}
+
+// Ingest drains a whole arrival schedule through Push in time order (a
+// min-heap orders simultaneous arrivals by input position). Call Close
+// to flush the tail and collect answers and accounting.
+func (ing *Ingestor) Ingest(arrivals []Arrival) {
+	h := graph.NewArrivalHeap(arrivals)
+	for h.Len() > 0 {
+		ing.Push(h.Pop())
+	}
+}
+
+// Close flushes whatever is still forming (the tail flush), stamps the
+// makespan, and returns every query answer in arrival order plus the
+// stream accounting. Close is idempotent; the ingestor accepts no pushes
+// afterwards.
+func (ing *Ingestor) Close() (Results, StreamStats) {
+	if !ing.closed {
+		ing.flushAt(ing.lastAt, flushTail)
+		ing.stats.Makespan = ing.now
+		ing.closed = true
+	}
+	return ing.res, ing.stats
+}
+
+// flushAt runs the forming set through the pipeline as one window,
+// starting at the trigger time or at the previous flush's completion,
+// whichever is later, and attributes each op's arrival-to-answer latency.
+func (ing *Ingestor) flushAt(trigger int64, reason int) {
+	if len(ing.forming) == 0 {
+		return
+	}
+	start := trigger
+	if start < ing.now {
+		start = ing.now // the cluster is still busy with the previous flush
+	}
+	var res Results
+	var st MixedStats
+	if ing.auto != nil {
+		res, st = ing.auto.ApplyChunk(ing.forming, reason == flushFull)
+	} else {
+		res, st = ing.raw(ing.forming)
+	}
+	end := start + int64(st.Rounds())
+	ing.now = end
+	for _, at := range ing.formingAt {
+		ing.stats.Latencies = append(ing.stats.Latencies, end-at)
+	}
+	ing.stats.Ops += st.Ops
+	ing.stats.Updates += st.Updates.Updates
+	ing.stats.Queries += st.Queries.Queries
+	ing.stats.Rounds += st.Rounds()
+	ing.stats.Flushes++
+	switch reason {
+	case flushConflict:
+		ing.stats.FlushConflict++
+	case flushFull:
+		ing.stats.FlushFull++
+	case flushAge:
+		ing.stats.FlushAge++
+	case flushTail:
+		ing.stats.FlushTail++
+	}
+	ing.stats.Windows = append(ing.stats.Windows, st)
+	ing.res = append(ing.res, res...)
+	ing.forming = ing.forming[:0]
+	ing.formingAt = ing.formingAt[:0]
+	ing.adm.Reset()
+}
+
+// Ingest is the one-call streaming entry: it builds an Ingestor over the
+// pipeline, drains the arrival schedule through it, and closes it —
+// Apply's counterpart for timestamped streams.
+func Ingest(p Pipeline, arrivals []Arrival, cfg IngestorConfig) (Results, StreamStats) {
+	cfg.Pipeline = p
+	ing := NewIngestor(cfg)
+	ing.Ingest(arrivals)
+	return ing.Close()
+}

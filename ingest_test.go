@@ -1,0 +1,308 @@
+package dmpc
+
+import (
+	"math/rand"
+	"testing"
+
+	"dmpc/internal/graph"
+)
+
+// TestIngestorBurstStorm is the deterministic burst-storm case: a burst
+// of component-disjoint inserts forms one wave set, and a late-arriving
+// op whose claims conflict with the open set must NOT join it — the set
+// flushes at the newcomer's arrival time and the newcomer starts a fresh
+// set.
+func TestIngestorBurstStorm(t *testing.T) {
+	cc := NewConnectivity(16, 64)
+	ing := NewIngestor(IngestorConfig{Pipeline: cc})
+	// The storm: disjoint singleton components, all admitted into one set.
+	ing.Push(Arrival{At: 0, Op: Ins(0, 1)})
+	ing.Push(Arrival{At: 0, Op: Ins(2, 3)})
+	ing.Push(Arrival{At: 0, Op: Ins(4, 5)})
+	if ing.Pending() != 3 {
+		t.Fatalf("storm did not form one set: %d pending", ing.Pending())
+	}
+	// The latecomer: Ins(1,2) holds component(1) exclusively, which the
+	// open set already holds — it must seal and flush the set, not join.
+	ing.Push(Arrival{At: 1, Op: Ins(1, 2)})
+	if ing.Pending() != 1 {
+		t.Fatalf("conflicting latecomer did not cut the set: %d pending", ing.Pending())
+	}
+	res, st := ing.Close()
+	if len(res) != 0 {
+		t.Fatalf("update-only stream answered %d queries", len(res))
+	}
+	if st.Flushes != 2 || st.FlushConflict != 1 || st.FlushTail != 1 {
+		t.Fatalf("flushes (total %d, conflict %d, tail %d), want (2, 1, 1)",
+			st.Flushes, st.FlushConflict, st.FlushTail)
+	}
+	if st.Windows[0].Ops != 3 || st.Windows[1].Ops != 1 {
+		t.Fatalf("window widths (%d, %d), want (3, 1)", st.Windows[0].Ops, st.Windows[1].Ops)
+	}
+	// Virtual-clock accounting: the first flush starts at the trigger
+	// (t=1), the tail flush queues behind it, and every op's latency is
+	// completion minus its own arrival.
+	r0, r1 := int64(st.Windows[0].Rounds()), int64(st.Windows[1].Rounds())
+	if st.Makespan != 1+r0+r1 {
+		t.Fatalf("makespan %d, want %d", st.Makespan, 1+r0+r1)
+	}
+	wantLat := []int64{1 + r0, 1 + r0, 1 + r0, r0 + r1}
+	if len(st.Latencies) != len(wantLat) {
+		t.Fatalf("%d latencies, want %d", len(st.Latencies), len(wantLat))
+	}
+	for i, want := range wantLat {
+		if st.Latencies[i] != want {
+			t.Fatalf("latency[%d] = %d, want %d (windows %d+%d rounds)",
+				i, st.Latencies[i], want, r0, r1)
+		}
+	}
+	// End state matches the sequential result regardless of the cut.
+	for _, pair := range [][2]int{{0, 1}, {2, 3}, {4, 5}, {1, 2}, {0, 3}} {
+		if cc.CompOf(pair[0]) != cc.CompOf(pair[1]) {
+			t.Fatalf("components of %v differ after ingest", pair)
+		}
+	}
+}
+
+// TestIngestorNonConflictingJoins pins the complement of the burst-storm
+// case: a latecomer whose claims are disjoint from the open set joins it,
+// and the whole stream flushes as one window at Close.
+func TestIngestorNonConflictingJoins(t *testing.T) {
+	cc := NewConnectivity(16, 64)
+	ing := NewIngestor(IngestorConfig{Pipeline: cc})
+	ing.Push(Arrival{At: 0, Op: Ins(0, 1)})
+	ing.Push(Arrival{At: 3, Op: Ins(2, 3)})
+	_, st := ing.Close()
+	if st.Flushes != 1 || st.FlushTail != 1 || st.Windows[0].Ops != 2 {
+		t.Fatalf("disjoint latecomer did not share the wave set: %+v", st)
+	}
+}
+
+// TestIngestorAgeBound pins the age flush: the oldest forming op waits at
+// most MaxAge rounds, whatever arrives.
+func TestIngestorAgeBound(t *testing.T) {
+	cc := NewConnectivity(16, 64)
+	ing := NewIngestor(IngestorConfig{Pipeline: cc, MaxAge: 10})
+	ing.Push(Arrival{At: 0, Op: Ins(0, 1)})
+	ing.Push(Arrival{At: 15, Op: QConnected(4, 5)})
+	res, st := ing.Close()
+	if st.Flushes != 2 || st.FlushAge != 1 || st.FlushTail != 1 {
+		t.Fatalf("flushes (total %d, age %d, tail %d), want (2, 1, 1)",
+			st.Flushes, st.FlushAge, st.FlushTail)
+	}
+	// The aged flush starts at its deadline (t=10), not at the arrival
+	// that triggered it (t=15).
+	r0 := int64(st.Windows[0].Rounds())
+	if st.Latencies[0] != 10+r0 {
+		t.Fatalf("aged op latency %d, want %d", st.Latencies[0], 10+r0)
+	}
+	if len(res) != 1 || res[0].Bool {
+		t.Fatalf("query answered %+v, want unconnected", res)
+	}
+}
+
+// TestIngestorBatchBound pins the k flush: the forming set never exceeds
+// MaxBatch ops (reads of disjoint vertices never conflict, so only the
+// size bound cuts this stream).
+func TestIngestorBatchBound(t *testing.T) {
+	cc := NewConnectivity(16, 64)
+	ing := NewIngestor(IngestorConfig{Pipeline: cc, MaxBatch: 2})
+	for i := 0; i < 5; i++ {
+		ing.Push(Arrival{At: 0, Op: QConnected(2*i, 2*i+1)})
+	}
+	res, st := ing.Close()
+	if st.Flushes != 3 || st.FlushFull != 2 || st.FlushTail != 1 {
+		t.Fatalf("flushes (total %d, full %d, tail %d), want (3, 2, 1)",
+			st.Flushes, st.FlushFull, st.FlushTail)
+	}
+	if len(res) != 5 {
+		t.Fatalf("%d answers, want 5", len(res))
+	}
+}
+
+// TestIngestorGuards pins the Push contract: no time regressions, no
+// pushes after Close, and Close idempotence.
+func TestIngestorGuards(t *testing.T) {
+	cc := NewConnectivity(8, 32)
+	ing := NewIngestor(IngestorConfig{Pipeline: cc})
+	ing.Push(Arrival{At: 5, Op: Ins(0, 1)})
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("time regression did not panic")
+			}
+		}()
+		ing.Push(Arrival{At: 4, Op: Ins(1, 2)})
+	}()
+	res1, st1 := ing.Close()
+	res2, st2 := ing.Close()
+	if len(res1) != len(res2) || st1.Flushes != st2.Flushes {
+		t.Fatal("Close is not idempotent")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("Push after Close did not panic")
+			}
+		}()
+		ing.Push(Arrival{At: 9, Op: Ins(2, 3)})
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("NewIngestor without a Pipeline did not panic")
+			}
+		}()
+		NewIngestor(IngestorConfig{})
+	}()
+}
+
+// TestIngestZeroGapMatchesApply pins the re-expression both ways: Ingest
+// of an ArrivalsNow schedule and Apply of the full slice must agree on
+// every answer and on the end state — Apply literally is the zero-
+// inter-arrival special case, and the admission cuts Ingest adds on top
+// may move rounds between windows but never change results.
+func TestIngestZeroGapMatchesApply(t *testing.T) {
+	const n = 64
+	rng := rand.New(rand.NewSource(11))
+	updates := graph.RandomStream(n, 240, 0.6, 1, rng)
+	ops := graph.MixedStream(updates, 0.4, func(r *rand.Rand) Op {
+		if r.Intn(2) == 0 {
+			return QConnected(r.Intn(n), r.Intn(n))
+		}
+		return QComponentOf(r.Intn(n))
+	}, rng)
+
+	ref := NewConnectivity(n, 4*n)
+	want, _ := ref.Apply(ops)
+
+	cc := NewConnectivity(n, 4*n)
+	got, st := Ingest(cc, ArrivalsNow(ops), IngestorConfig{})
+	if len(got) != len(want) {
+		t.Fatalf("%d answers, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("answer %d is %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	for v := 0; v < n; v++ {
+		if cc.CompOf(v) != ref.CompOf(v) {
+			t.Fatalf("component of %d differs: %d vs %d", v, cc.CompOf(v), ref.CompOf(v))
+		}
+	}
+	if st.Ops != len(ops) || len(st.Latencies) != len(ops) {
+		t.Fatalf("stream stats cover %d ops, %d latencies; stream has %d",
+			st.Ops, len(st.Latencies), len(ops))
+	}
+	if st.Makespan != int64(st.Rounds) {
+		t.Fatalf("zero-gap makespan %d != rounds %d (no idle time exists)", st.Makespan, st.Rounds)
+	}
+	if v := cc.Cluster().Stats().Violations; v != 0 {
+		t.Fatalf("%d cluster violations", v)
+	}
+}
+
+// TestIngestPoissonMatchingEquivalence runs a well-formed mixed matching
+// stream through Poisson arrivals and pins answers and the final mate
+// table against Apply on the full slice.
+func TestIngestPoissonMatchingEquivalence(t *testing.T) {
+	const n = 48
+	rng := rand.New(rand.NewSource(12))
+	updates := graph.RandomStream(n, 160, 0.6, 1, rng)
+	ops := graph.MixedStream(updates, 0.3, func(r *rand.Rand) Op {
+		return QMateOf(r.Intn(n))
+	}, rng)
+
+	ref := NewMaximalMatching(n, 4*n)
+	want, _ := ref.Apply(ops)
+
+	mm := NewMaximalMatching(n, 4*n)
+	arrivals := PoissonArrivals(ops, 6, rand.New(rand.NewSource(13)))
+	got, st := Ingest(mm, arrivals, IngestorConfig{MaxBatch: 16, MaxAge: 32})
+	if len(got) != len(want) {
+		t.Fatalf("%d answers, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("answer %d is %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	wantMates, gotMates := ref.MateTable(), mm.MateTable()
+	for v := range wantMates {
+		if wantMates[v] != gotMates[v] {
+			t.Fatalf("mate of %d differs: %d vs %d", v, gotMates[v], wantMates[v])
+		}
+	}
+	if st.Makespan < int64(st.Rounds) {
+		t.Fatalf("makespan %d below busy rounds %d", st.Makespan, st.Rounds)
+	}
+	if st.P50() > st.P95() || st.P95() > st.P99() {
+		t.Fatalf("percentiles not monotone: p50 %d, p95 %d, p99 %d", st.P50(), st.P95(), st.P99())
+	}
+	if v := mm.Cluster().Stats().Violations; v != 0 {
+		t.Fatalf("%d cluster violations", v)
+	}
+}
+
+// TestIngestorWithAutoBatcher pins the Ingestor/AutoBatcher wiring: the
+// batcher sizes k live (the ingestor's full-flush cuts feed the knee
+// search), answers stay bit-identical to Apply on the full slice, and
+// every flush lands in the batcher's history.
+func TestIngestorWithAutoBatcher(t *testing.T) {
+	const n = 96
+	rng := rand.New(rand.NewSource(14))
+	updates := graph.RandomStream(n, 480, 0.55, 1, rng)
+	ops := graph.MixedStream(updates, 0.5, func(r *rand.Rand) Op {
+		return QConnected(r.Intn(n), r.Intn(n))
+	}, rng)
+
+	ref := NewConnectivity(n, 5*n)
+	want, _ := ref.Apply(ops)
+
+	cc := NewConnectivity(n, 5*n)
+	ab := NewAutoBatcher(AutoBatcherConfig{ApplyOps: cc.Apply, StartK: 8, MaxK: 256})
+	got, st := Ingest(cc, ArrivalsNow(ops), IngestorConfig{Auto: ab})
+	if len(got) != len(want) {
+		t.Fatalf("%d answers, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("answer %d is %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	if st.Flushes != len(ab.MixedHistory()) {
+		t.Fatalf("%d flushes but %d batcher windows", st.Flushes, len(ab.MixedHistory()))
+	}
+	grew := false
+	for _, k := range ab.Ks() {
+		if k > 8 {
+			grew = true
+		}
+	}
+	if !grew {
+		t.Fatalf("batcher never grew k under ingest: trajectory %v", ab.Ks())
+	}
+}
+
+// TestIngestorForeignPipeline pins the no-claims path: a Pipeline
+// implementation from outside the facade ingests without admission
+// control, so only the configured bounds cut the stream.
+func TestIngestorForeignPipeline(t *testing.T) {
+	cc := NewConnectivity(16, 64)
+	fp := foreignPipeline{cc}
+	ing := NewIngestor(IngestorConfig{Pipeline: fp})
+	ing.Push(Arrival{At: 0, Op: Ins(0, 1)})
+	ing.Push(Arrival{At: 0, Op: Ins(1, 2)}) // would conflict under claims
+	_, st := ing.Close()
+	if st.Flushes != 1 || st.FlushConflict != 0 {
+		t.Fatalf("foreign pipeline saw admission control: %+v", st)
+	}
+}
+
+// foreignPipeline hides the facade's claims plumbing behind a plain
+// Pipeline value, as an external implementation would look.
+type foreignPipeline struct{ inner *Connectivity }
+
+func (f foreignPipeline) Apply(ops []Op) (Results, MixedStats) { return f.inner.Apply(ops) }
+func (f foreignPipeline) Cluster() *Cluster                    { return f.inner.Cluster() }

@@ -410,71 +410,84 @@ func (m *M) driveFlows(limit int, what string) {
 // key: transitions hold fresh exclusive machines transiently, so at most
 // one per wave keeps the storage pool within its sequential envelope.
 func (m *M) opItem(ops []graph.Op) func(i, meanSuffix int) sched.Item {
+	return func(i, meanSuffix int) sched.Item {
+		return m.itemFor(ops[i], meanSuffix)
+	}
+}
+
+// StreamItem reads one op's schedule-time resources at the current mean
+// refresh-suffix cost — the per-op claims oracle the streaming Ingestor
+// feeds its incremental Admitter. Valid only at driver-side quiescence
+// (between flushes), which is when the Ingestor calls it; ApplyOps reads
+// the suffix cost once per scheduling pass instead (see opItem).
+func (m *M) StreamItem(op graph.Op) sched.Item {
+	return m.itemFor(op, m.coord.meanStoreSuffix())
+}
+
+// itemFor is the shared per-op core of opItem and StreamItem.
+func (m *M) itemFor(op graph.Op, meanSuffix int) sched.Item {
 	c := m.coord
 	const transitionKey = int64(-1) // vertex ids are >= 0
-	return func(i, meanSuffix int) sched.Item {
-		op := ops[i]
-		if op.IsQuery() {
-			switch op.Kind {
-			case graph.OpMateOf, graph.OpMatched:
-				return sched.Item{
-					Read:   []int64{int64(op.U)},
-					Shared: []sched.Claim{{Key: int64(c.statsOf(int32(op.U))), Cost: 4}},
-				}
-			}
-			panic(fmt.Sprintf("dmm: unsupported query kind %v (matching answers OpMateOf and OpMatched)", op.Kind))
-		}
-		up := op.Update()
-		u, v := int32(up.U), int32(up.V)
-		if u == v {
-			return sched.Item{Excl: []int64{int64(u)}} // no-op at MC
-		}
-		if c.threeHalves {
-			return sched.Item{Solo: true}
-		}
-		su, sv := m.statPeek(u), m.statPeek(v)
-		if up.Op == graph.Delete {
-			if su.mate == v {
-				return sched.Item{Solo: true} // unmatch + rematch both ends
-			}
-		} else {
-			uFree, vFree := su.mate < 0, sv.mate < 0
-			uHeavy := su.heavy || int(su.deg)+1 >= c.heavyAt // transitionUp runs before the case analysis
-			vHeavy := sv.heavy || int(sv.deg)+1 >= c.heavyAt
-			if !(uFree && vFree) && ((uFree && uHeavy) || (vFree && vHeavy)) {
-				return sched.Item{Solo: true} // surrogate chain
+	if op.IsQuery() {
+		switch op.Kind {
+		case graph.OpMateOf, graph.OpMatched:
+			return sched.Item{
+				Read:   []int64{int64(op.U)},
+				Shared: []sched.Claim{{Key: int64(c.statsOf(int32(op.U))), Cost: 4}},
 			}
 		}
-		excl := []int64{int64(u), int64(v)}
-		if su.mate >= 0 {
-			excl = append(excl, int64(su.mate))
-		}
-		if sv.mate >= 0 && sv.mate != su.mate {
-			excl = append(excl, int64(sv.mate))
-		}
-		mcCost := 128 + 4*meanSuffix
-		var shared []sched.Claim
-		addHome := func(s stat, deg int32) {
-			if s.home < 0 {
-				return
-			}
-			cost := 2 * edgeWords
-			mcCost += 4 * c.suffixLen(s.home)
-			if transitionPredicted(s, up.Op == graph.Delete, c.heavyAt) {
-				cost += edgeWords * int(deg) // cMoveOut ships the whole list
-				excl = append(excl, transitionKey)
-			}
-			shared = append(shared, sched.Claim{Key: int64(s.home), Cost: cost})
-		}
-		addHome(su, su.deg)
-		addHome(sv, sv.deg)
-		shared = append(shared,
-			sched.Claim{Key: 0, Cost: mcCost},
-			sched.Claim{Key: int64(c.statsOf(u)), Cost: 32},
-			sched.Claim{Key: int64(c.statsOf(v)), Cost: 32},
-		)
-		return sched.Item{Excl: excl, Shared: shared}
+		panic(fmt.Sprintf("dmm: unsupported query kind %v (matching answers OpMateOf and OpMatched)", op.Kind))
 	}
+	up := op.Update()
+	u, v := int32(up.U), int32(up.V)
+	if u == v {
+		return sched.Item{Excl: []int64{int64(u)}} // no-op at MC
+	}
+	if c.threeHalves {
+		return sched.Item{Solo: true}
+	}
+	su, sv := m.statPeek(u), m.statPeek(v)
+	if up.Op == graph.Delete {
+		if su.mate == v {
+			return sched.Item{Solo: true} // unmatch + rematch both ends
+		}
+	} else {
+		uFree, vFree := su.mate < 0, sv.mate < 0
+		uHeavy := su.heavy || int(su.deg)+1 >= c.heavyAt // transitionUp runs before the case analysis
+		vHeavy := sv.heavy || int(sv.deg)+1 >= c.heavyAt
+		if !(uFree && vFree) && ((uFree && uHeavy) || (vFree && vHeavy)) {
+			return sched.Item{Solo: true} // surrogate chain
+		}
+	}
+	excl := []int64{int64(u), int64(v)}
+	if su.mate >= 0 {
+		excl = append(excl, int64(su.mate))
+	}
+	if sv.mate >= 0 && sv.mate != su.mate {
+		excl = append(excl, int64(sv.mate))
+	}
+	mcCost := 128 + 4*meanSuffix
+	var shared []sched.Claim
+	addHome := func(s stat, deg int32) {
+		if s.home < 0 {
+			return
+		}
+		cost := 2 * edgeWords
+		mcCost += 4 * c.suffixLen(s.home)
+		if transitionPredicted(s, up.Op == graph.Delete, c.heavyAt) {
+			cost += edgeWords * int(deg) // cMoveOut ships the whole list
+			excl = append(excl, transitionKey)
+		}
+		shared = append(shared, sched.Claim{Key: int64(s.home), Cost: cost})
+	}
+	addHome(su, su.deg)
+	addHome(sv, sv.deg)
+	shared = append(shared,
+		sched.Claim{Key: 0, Cost: mcCost},
+		sched.Claim{Key: int64(c.statsOf(u)), Cost: 32},
+		sched.Claim{Key: int64(c.statsOf(v)), Cost: 32},
+	)
+	return sched.Item{Excl: excl, Shared: shared}
 }
 
 // transitionPredicted reports whether the update will cross v's heavy

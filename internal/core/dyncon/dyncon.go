@@ -234,39 +234,10 @@ func (d *D) ApplyOps(ops []graph.Op) (graph.Results, mpc.MixedStats) {
 			ids[i] = d.seq
 		}
 	}
-	// Worst orchestration round of a broadcasting update: a 3-shift
-	// descriptor to every machine, plus slack for the same round's O(1)
-	// point-to-point traffic.
-	bcast := (16+5*3)*len(d.shards) + 32
-	item := func(i int) sched.Item {
-		op := ops[i]
-		switch op.Kind {
-		case graph.OpConnected:
-			return sched.Item{
-				Read:   []int64{d.CompOf(op.U), d.CompOf(op.V)},
-				Shared: []sched.Claim{{Key: int64(d.owner(op.U)), Cost: 8}},
-			}
-		case graph.OpComponentOf:
-			return sched.Item{
-				Read:   []int64{d.CompOf(op.U)},
-				Shared: []sched.Claim{{Key: int64(d.owner(op.U)), Cost: 4}},
-			}
-		case graph.OpMateOf, graph.OpMatched:
-			panic(fmt.Sprintf("dyncon: unsupported query kind %v (connectivity answers OpConnected and OpComponentOf)", op.Kind))
-		}
-		up := op.Update()
-		cost := 32 // info/size requests and non-tree record traffic, all O(1) words
-		if d.broadcasts(up) {
-			cost = bcast
-		}
-		return sched.Item{
-			Excl:   []int64{d.CompOf(up.U), d.CompOf(up.V)},
-			Shared: []sched.Claim{{Key: int64(d.owner(up.U)), Cost: cost}},
-		}
-	}
-	sched.Drive(len(ops), item, d.cluster.MemWords(), func(wave []int) {
-		d.runOpWave(ops, ids, wave)
-	})
+	sched.Drive(len(ops), func(i int) sched.Item { return d.StreamItem(ops[i]) },
+		d.cluster.MemWords(), func(wave []int) {
+			d.runOpWave(ops, ids, wave)
+		})
 	st := d.cluster.EndMixed()
 	res := make(graph.Results, 0, nq)
 	for i, op := range ops {
@@ -293,6 +264,42 @@ func (d *D) ApplyOps(ops []graph.Op) (graph.Results, mpc.MixedStats) {
 		}
 	}
 	return res, st
+}
+
+// StreamItem reads one op's schedule-time resources from live driver
+// state — the per-op claims oracle ApplyOps feeds sched.Drive and the
+// streaming Ingestor feeds its incremental Admitter. Claims are valid
+// only for the state they were read from (executing ops moves component
+// labels), which both callers honor: Drive recomputes items between
+// waves, and the Ingestor computes each arrival's item against the
+// post-last-flush quiescent state, exactly the FirstWave convention.
+func (d *D) StreamItem(op graph.Op) sched.Item {
+	switch op.Kind {
+	case graph.OpConnected:
+		return sched.Item{
+			Read:   []int64{d.CompOf(op.U), d.CompOf(op.V)},
+			Shared: []sched.Claim{{Key: int64(d.owner(op.U)), Cost: 8}},
+		}
+	case graph.OpComponentOf:
+		return sched.Item{
+			Read:   []int64{d.CompOf(op.U)},
+			Shared: []sched.Claim{{Key: int64(d.owner(op.U)), Cost: 4}},
+		}
+	case graph.OpMateOf, graph.OpMatched:
+		panic(fmt.Sprintf("dyncon: unsupported query kind %v (connectivity answers OpConnected and OpComponentOf)", op.Kind))
+	}
+	up := op.Update()
+	cost := 32 // info/size requests and non-tree record traffic, all O(1) words
+	if d.broadcasts(up) {
+		// Worst orchestration round of a broadcasting update: a 3-shift
+		// descriptor to every machine, plus slack for the same round's
+		// O(1) point-to-point traffic.
+		cost = (16+5*3)*len(d.shards) + 32
+	}
+	return sched.Item{
+		Excl:   []int64{d.CompOf(up.U), d.CompOf(up.V)},
+		Shared: []sched.Claim{{Key: int64(d.owner(up.U)), Cost: cost}},
+	}
 }
 
 // runOpWave injects the scheduled wave (stream indices: updates and

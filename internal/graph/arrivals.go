@@ -1,0 +1,154 @@
+package graph
+
+import (
+	"container/heap"
+	"math/rand"
+)
+
+// Arrival is one timestamped operation of an asynchronous op stream: Op
+// arrives at virtual time At, measured in cluster rounds since the stream
+// began. The streaming front door (the facade's Ingestor) consumes
+// Arrivals in time order and reports each op's rounds-from-arrival-to-
+// answer, so At is the zero point of that op's latency.
+type Arrival struct {
+	At int64
+	Op Op
+}
+
+// ArrivalHeap is a min-heap of arrivals ordered by At, with ties broken
+// by insertion order (earlier-pushed arrivals pop first), so a schedule
+// with simultaneous arrivals replays deterministically in the order it
+// was built. Build one with NewArrivalHeap, then Pop until Len is zero.
+type ArrivalHeap struct {
+	h       arrivalQueue
+	nextSeq int
+}
+
+type arrivalEntry struct {
+	a   Arrival
+	seq int // insertion order, the tie-break
+}
+
+type arrivalQueue []arrivalEntry
+
+func (q arrivalQueue) Len() int { return len(q) }
+func (q arrivalQueue) Less(i, j int) bool {
+	if q[i].a.At != q[j].a.At {
+		return q[i].a.At < q[j].a.At
+	}
+	return q[i].seq < q[j].seq
+}
+func (q arrivalQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *arrivalQueue) Push(x interface{}) { *q = append(*q, x.(arrivalEntry)) }
+func (q *arrivalQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	x := old[n-1]
+	*q = old[:n-1]
+	return x
+}
+
+// NewArrivalHeap builds a heap holding the given arrivals. The input
+// slice is not modified.
+func NewArrivalHeap(arrivals []Arrival) *ArrivalHeap {
+	ah := &ArrivalHeap{h: make(arrivalQueue, len(arrivals)), nextSeq: len(arrivals)}
+	for i, a := range arrivals {
+		ah.h[i] = arrivalEntry{a: a, seq: i}
+	}
+	heap.Init(&ah.h)
+	return ah
+}
+
+// Len returns the number of arrivals still queued.
+func (ah *ArrivalHeap) Len() int { return len(ah.h) }
+
+// Push queues one more arrival; on an At tie it pops after everything
+// already queued.
+func (ah *ArrivalHeap) Push(a Arrival) {
+	heap.Push(&ah.h, arrivalEntry{a: a, seq: ah.nextSeq})
+	ah.nextSeq++
+}
+
+// Pop removes and returns the earliest arrival. It panics on an empty
+// heap.
+func (ah *ArrivalHeap) Pop() Arrival {
+	return heap.Pop(&ah.h).(arrivalEntry).a
+}
+
+// ArrivalsNow timestamps a whole op stream at time zero — the degenerate
+// schedule under which streaming ingestion must coincide exactly with
+// Pipeline.Apply on the full slice (the zero-inter-arrival special case).
+func ArrivalsNow(ops []Op) []Arrival {
+	arr := make([]Arrival, len(ops))
+	for i, op := range ops {
+		arr[i] = Arrival{At: 0, Op: op}
+	}
+	return arr
+}
+
+// PoissonArrivals timestamps an op stream with independent exponential
+// inter-arrival gaps of the given mean (in rounds), rounded to whole
+// rounds — the memoryless open-system workload. meanGap <= 0 degenerates
+// to ArrivalsNow.
+func PoissonArrivals(ops []Op, meanGap float64, rng *rand.Rand) []Arrival {
+	if meanGap <= 0 {
+		return ArrivalsNow(ops)
+	}
+	arr := make([]Arrival, len(ops))
+	at := int64(0)
+	for i, op := range ops {
+		at += int64(rng.ExpFloat64() * meanGap)
+		arr[i] = Arrival{At: at, Op: op}
+	}
+	return arr
+}
+
+// BurstyArrivals timestamps an op stream as back-to-back bursts: burst
+// consecutive ops arrive withinGap rounds apart, then the next burst
+// starts betweenGap rounds after the previous burst's last arrival — the
+// storm-then-lull workload that separates tail latency from the amortized
+// figure. burst < 1 is coerced to 1; negative gaps to 0.
+func BurstyArrivals(ops []Op, burst int, withinGap, betweenGap int64) []Arrival {
+	if burst < 1 {
+		burst = 1
+	}
+	if withinGap < 0 {
+		withinGap = 0
+	}
+	if betweenGap < 0 {
+		betweenGap = 0
+	}
+	arr := make([]Arrival, len(ops))
+	at := int64(0)
+	for i, op := range ops {
+		if i > 0 {
+			if i%burst == 0 {
+				at += betweenGap
+			} else {
+				at += withinGap
+			}
+		}
+		arr[i] = Arrival{At: at, Op: op}
+	}
+	return arr
+}
+
+// FuzzArrivals deterministically decodes raw fuzzer bytes into an arrival
+// schedule on n vertices — the front-end of the FuzzArrivalEquivalence
+// harnesses. Four bytes per arrival: the first three decode the op
+// exactly as FuzzOps documents (so the op streams of the mixed harnesses
+// are reachable), and the fourth is the inter-arrival gap before the op,
+// taken modulo 13 so random streams mix zero gaps (ops racing into one
+// wave set) with real ones (ops straddling flushes). Ops dropped by the
+// well-formed filter drop their gap bytes with them, keeping every
+// surviving op paired with its own gap.
+func FuzzArrivals(data []byte, n int, maxW Weight, qkinds []OpKind, wellFormed bool) []Arrival {
+	ops, extras := fuzzOps(data, 4, n, maxW, qkinds, wellFormed)
+	arr := make([]Arrival, len(ops))
+	at := int64(0)
+	for i, op := range ops {
+		at += int64(extras[i][0] % 13)
+		arr[i] = Arrival{At: at, Op: op}
+	}
+	return arr
+}

@@ -1,0 +1,106 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestArrivalHeapOrder pins the heap's ordering contract: ascending At,
+// with simultaneous arrivals popping in input order.
+func TestArrivalHeapOrder(t *testing.T) {
+	arr := []Arrival{
+		{At: 5, Op: OpIns(0, 1, 1)},
+		{At: 1, Op: OpIns(1, 2, 1)},
+		{At: 5, Op: OpDel(0, 1)},
+		{At: 0, Op: OpQConnected(0, 1)},
+		{At: 1, Op: OpIns(2, 3, 1)},
+	}
+	h := NewArrivalHeap(arr)
+	wantIdx := []int{3, 1, 4, 0, 2}
+	for _, wi := range wantIdx {
+		if h.Len() == 0 {
+			t.Fatal("heap drained early")
+		}
+		got := h.Pop()
+		if got != arr[wi] {
+			t.Fatalf("popped %+v, want %+v", got, arr[wi])
+		}
+	}
+	if h.Len() != 0 {
+		t.Fatalf("heap holds %d arrivals after draining", h.Len())
+	}
+	// A later Push with a tied timestamp pops after re-pushed earlier ties.
+	h.Push(Arrival{At: 2, Op: OpIns(0, 1, 1)})
+	h.Push(Arrival{At: 2, Op: OpDel(0, 1)})
+	if first := h.Pop(); first.Op.Kind != OpInsert {
+		t.Fatalf("tied pushes reordered: first pop %+v", first)
+	}
+}
+
+// TestArrivalGenerators pins the three schedule shapes: all-zero,
+// non-decreasing Poisson, and the bursty within/between pattern.
+func TestArrivalGenerators(t *testing.T) {
+	ops := make([]Op, 10)
+	for i := range ops {
+		ops[i] = OpIns(i, i+1, 1)
+	}
+	for i, a := range ArrivalsNow(ops) {
+		if a.At != 0 || a.Op != ops[i] {
+			t.Fatalf("ArrivalsNow[%d] = %+v", i, a)
+		}
+	}
+	rng := rand.New(rand.NewSource(1))
+	prev := int64(0)
+	for i, a := range PoissonArrivals(ops, 8, rng) {
+		if a.At < prev {
+			t.Fatalf("PoissonArrivals[%d] regresses: %d after %d", i, a.At, prev)
+		}
+		prev = a.At
+	}
+	arr := BurstyArrivals(ops, 4, 0, 50)
+	for i, a := range arr {
+		want := int64(i/4) * 50
+		if a.At != want {
+			t.Fatalf("BurstyArrivals[%d].At = %d, want %d", i, a.At, want)
+		}
+	}
+}
+
+// TestFuzzArrivalsAlignment pins the 4-byte decoding against FuzzOps:
+// the op sequence must be exactly what FuzzOps would decode from the
+// same records, timestamps must be non-decreasing, and the well-formed
+// filter must drop a dropped op's gap with it (the next surviving op's
+// gap is its own, not an accumulation artifact).
+func TestFuzzArrivalsAlignment(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	qk := []OpKind{OpConnected, OpComponentOf}
+	for trial := 0; trial < 50; trial++ {
+		data := make([]byte, rng.Intn(160))
+		rng.Read(data)
+		for _, wf := range []bool{false, true} {
+			arr := FuzzArrivals(data, 8, 1, qk, wf)
+			// Project the same records through the 3-byte decoder.
+			var recs []byte
+			for i := 0; i+3 < len(data); i += 4 {
+				recs = append(recs, data[i], data[i+1], data[i+2])
+			}
+			ops := FuzzOps(recs, 8, 1, qk, wf)
+			if len(ops) != len(arr) {
+				t.Fatalf("wf=%v: %d arrivals vs %d ops", wf, len(arr), len(ops))
+			}
+			prev := int64(0)
+			for i, a := range arr {
+				if a.Op != ops[i] {
+					t.Fatalf("wf=%v: arrival %d op %+v, want %+v", wf, i, a.Op, ops[i])
+				}
+				if a.At < prev {
+					t.Fatalf("wf=%v: arrival %d regresses", wf, i)
+				}
+				if a.At-prev > 12 {
+					t.Fatalf("wf=%v: arrival %d gap %d exceeds the modulus", wf, i, a.At-prev)
+				}
+				prev = a.At
+			}
+		}
+	}
+}

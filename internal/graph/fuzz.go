@@ -46,15 +46,31 @@ func FuzzStream(data []byte, n int, maxW Weight) []Update {
 // FuzzStreamWellFormed rules while queries pass through untouched at their
 // stream positions.
 func FuzzOps(data []byte, n int, maxW Weight, qkinds []OpKind, wellFormed bool) []Op {
+	ops, _ := fuzzOps(data, 3, n, maxW, qkinds, wellFormed)
+	return ops
+}
+
+// fuzzOps is the stride-parameterized decoder behind FuzzOps and
+// FuzzArrivals: each record is stride (>= 3) bytes, the first three
+// decode the op exactly as FuzzOps documents, and any extra record bytes
+// ride along with the emitted op — extras[j] holds bytes 3..stride of the
+// j-th emitted op's record, so a record dropped by the well-formed filter
+// drops its extra bytes too and extras stays index-aligned with ops.
+func fuzzOps(data []byte, stride, n int, maxW Weight, qkinds []OpKind, wellFormed bool) (ops []Op, extras [][]byte) {
 	if n < 2 || len(qkinds) == 0 {
-		return nil
+		return nil, nil
 	}
 	// Well-formedness state for the update side only.
 	g := New(n)
 	var present []Edge
 	pos := make(map[Edge]int)
-	ops := make([]Op, 0, len(data)/3)
-	for i := 0; i+2 < len(data); i += 3 {
+	ops = make([]Op, 0, len(data)/stride)
+	extras = make([][]byte, 0, len(data)/stride)
+	emit := func(op Op, i int) {
+		ops = append(ops, op)
+		extras = append(extras, data[i+3:i+stride])
+	}
+	for i := 0; i+stride-1 < len(data); i += stride {
 		sel, b1, b2 := data[i], data[i+1], data[i+2]
 		u := int(b1) % n
 		v := int(b2) % n
@@ -67,7 +83,7 @@ func FuzzOps(data []byte, n int, maxW Weight, qkinds []OpKind, wellFormed bool) 
 			if k == OpComponentOf || k == OpMateOf {
 				v = 0
 			}
-			ops = append(ops, Op{Kind: k, U: u, V: v})
+			emit(Op{Kind: k, U: u, V: v}, i)
 			continue
 		}
 		up := Update{Op: Delete, U: u, V: v}
@@ -79,7 +95,7 @@ func FuzzOps(data []byte, n int, maxW Weight, qkinds []OpKind, wellFormed bool) 
 			up = Update{Op: Insert, U: u, V: v, W: w}
 		}
 		if !wellFormed {
-			ops = append(ops, OpUpdate(up))
+			emit(OpUpdate(up), i)
 			continue
 		}
 		e := NormEdge(up.U, up.V)
@@ -90,7 +106,7 @@ func FuzzOps(data []byte, n int, maxW Weight, qkinds []OpKind, wellFormed bool) 
 			g.Insert(e.U, e.V, up.W)
 			pos[e] = len(present)
 			present = append(present, e)
-			ops = append(ops, OpUpdate(up))
+			emit(OpUpdate(up), i)
 			continue
 		}
 		if !g.Has(e.U, e.V) {
@@ -106,9 +122,9 @@ func FuzzOps(data []byte, n int, maxW Weight, qkinds []OpKind, wellFormed bool) 
 		present = present[:last]
 		delete(pos, e)
 		g.Delete(e.U, e.V)
-		ops = append(ops, OpDel(e.U, e.V))
+		emit(OpDel(e.U, e.V), i)
 	}
-	return ops
+	return ops, extras
 }
 
 // FuzzStreamWellFormed decodes like FuzzStream but keeps the sequence

@@ -1,0 +1,91 @@
+package mpc
+
+import (
+	"math"
+	"sort"
+)
+
+// StreamStats is the accounting window of one asynchronous op stream —
+// the streaming counterpart of MixedStats. Where a mixed window reports
+// the amortized rounds per op of one batch, a stream window additionally
+// reports what amortization hides: each op's rounds from *arrival* to
+// answer, measured on the ingestor's virtual clock (arrivals carry a
+// timestamp in rounds; an op admitted at time t and answered by a flush
+// window ending at time t' observed latency t'−t, waiting included). The
+// p50/p95/p99 of those latencies sit next to RoundsPerOp because the two
+// disagree by design: the amortized-optimal batch size k makes early
+// arrivals of every chunk wait longest, which is exactly what the
+// AutoBatcher's TargetP99Rounds constraint trades against.
+//
+// A StreamStats is accumulated flush by flush by the facade's Ingestor;
+// the zero value is ready to use.
+type StreamStats struct {
+	Ops     int // ops ingested (updates + queries)
+	Updates int
+	Queries int
+
+	// Flushes counts the Apply windows the stream was cut into, broken
+	// down by what triggered each cut: a conflicting arrival refused
+	// admission to the forming set (FlushConflict), the set reaching the
+	// batch-size bound k (FlushFull), the oldest forming op reaching the
+	// age bound (FlushAge), or the end of the stream (FlushTail).
+	Flushes       int
+	FlushConflict int
+	FlushFull     int
+	FlushAge      int
+	FlushTail     int
+
+	// Rounds is the total cluster rounds the flush windows executed;
+	// Makespan is the virtual time the last flush completed at — at least
+	// Rounds, larger when arrival gaps left the cluster idle.
+	Rounds   int
+	Makespan int64
+
+	// Latencies holds every op's rounds-from-arrival-to-answer, in
+	// arrival order (updates count: an update's "answer" is its
+	// application landing).
+	Latencies []int64
+
+	// Windows holds each flush's mixed accounting, in flush order.
+	Windows []MixedStats
+}
+
+// RoundsPerOp returns the stream's amortized rounds per op — the same
+// figure MixedStats.RoundsPerOp reports per window, over all windows.
+func (s StreamStats) RoundsPerOp() float64 {
+	if s.Ops == 0 {
+		return 0
+	}
+	return float64(s.Rounds) / float64(s.Ops)
+}
+
+// Percentile returns the q-th latency percentile (0 < q <= 100) by the
+// nearest-rank rule on a sorted copy of Latencies: the smallest recorded
+// latency with at least ceil(q/100·n) recorded latencies at or below it.
+// It returns 0 when no latencies were recorded.
+func (s StreamStats) Percentile(q float64) int64 {
+	n := len(s.Latencies)
+	if n == 0 {
+		return 0
+	}
+	sorted := make([]int64, n)
+	copy(sorted, s.Latencies)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	rank := int(math.Ceil(float64(n) * q / 100))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > n {
+		rank = n
+	}
+	return sorted[rank-1]
+}
+
+// P50 returns the median rounds-from-arrival-to-answer.
+func (s StreamStats) P50() int64 { return s.Percentile(50) }
+
+// P95 returns the 95th-percentile rounds-from-arrival-to-answer.
+func (s StreamStats) P95() int64 { return s.Percentile(95) }
+
+// P99 returns the 99th-percentile rounds-from-arrival-to-answer.
+func (s StreamStats) P99() int64 { return s.Percentile(99) }

@@ -1,0 +1,41 @@
+package mpc
+
+import "testing"
+
+// TestStreamStatsPercentile pins the nearest-rank rule and the derived
+// percentiles against hand-computed values.
+func TestStreamStatsPercentile(t *testing.T) {
+	var s StreamStats
+	if s.P99() != 0 || s.P50() != 0 {
+		t.Fatal("empty stream reports nonzero percentiles")
+	}
+	s.Latencies = []int64{9, 1, 5} // unsorted on purpose
+	if got := s.P50(); got != 5 {
+		t.Fatalf("P50 = %d, want 5", got)
+	}
+	if got := s.Percentile(100); got != 9 {
+		t.Fatalf("P100 = %d, want 9", got)
+	}
+	if got := s.Percentile(1); got != 1 {
+		t.Fatalf("P1 = %d, want 1", got)
+	}
+	// 100 latencies 1..100: nearest-rank p99 is the 99th value.
+	s.Latencies = s.Latencies[:0]
+	for i := 1; i <= 100; i++ {
+		s.Latencies = append(s.Latencies, int64(i))
+	}
+	if got := s.P99(); got != 99 {
+		t.Fatalf("P99 over 1..100 = %d, want 99", got)
+	}
+	if got := s.P95(); got != 95 {
+		t.Fatalf("P95 over 1..100 = %d, want 95", got)
+	}
+	if got := s.P50(); got != 50 {
+		t.Fatalf("P50 over 1..100 = %d, want 50", got)
+	}
+	s.Ops = 50
+	s.Rounds = 100
+	if got := s.RoundsPerOp(); got != 2 {
+		t.Fatalf("RoundsPerOp = %v, want 2", got)
+	}
+}

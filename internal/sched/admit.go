@@ -1,0 +1,94 @@
+package sched
+
+// Admitter is the incremental face of FirstWave for streaming ingestion:
+// where FirstWave judges a complete batch in one pass, an Admitter grows
+// an open wave set one item at a time, answering "may this op join the
+// set already admitted?" under exactly the FirstWave rules. The streaming
+// front door (the facade's Ingestor) admits arrivals into the currently-
+// forming wave set and flushes the set the moment an arrival is refused,
+// so the greedy admitted prefix of an op stream equals the all-admitted
+// prefix FirstWave would certify over the same items (pinned by
+// TestAdmitterFirstWaveEquivalence).
+//
+// Unlike FirstWave, a refused item records nothing: the caller flushes on
+// refusal, so there is no later op that a blocked op's claims would need
+// to block (batch order across flushes is preserved by the flush itself).
+type Admitter struct {
+	budget      int
+	claimed     map[int64]bool // exclusive keys held by admitted items
+	readClaimed map[int64]bool // read keys held by admitted items
+	usage       map[int64]int  // shared-claim usage per key
+	n           int            // items admitted since the last Reset
+	solo        bool           // a Solo item holds the set: nothing else joins
+}
+
+// NewAdmitter returns an empty admitter with the given shared-claim
+// budget (per key, per wave; <= 0 means unlimited, like FirstWave).
+func NewAdmitter(budget int) *Admitter {
+	a := &Admitter{budget: budget}
+	a.Reset()
+	return a
+}
+
+// Len returns the number of items admitted since the last Reset.
+func (a *Admitter) Len() int { return a.n }
+
+// Reset empties the wave set; the caller does this after flushing it.
+func (a *Admitter) Reset() {
+	a.claimed = make(map[int64]bool, 8)
+	a.readClaimed = make(map[int64]bool, 4)
+	a.usage = make(map[int64]int, 4)
+	a.n = 0
+	a.solo = false
+}
+
+// Admit reports whether the item may join the open wave set, recording
+// its claims when it does. The rules are FirstWave's: a Solo item joins
+// only an empty set and seals it; an exclusive key is refused if any
+// admitted item claimed it (exclusively or read); a read key is refused
+// only against an exclusive claimant (reads never block reads); and each
+// shared claim must fit the remaining budget of its key (a claim larger
+// than the whole budget still gets an empty key to itself). An empty set
+// admits anything — position 0 always joins — so a flush-on-refuse loop
+// always makes progress.
+func (a *Admitter) Admit(it Item) bool {
+	if a.solo {
+		return false
+	}
+	if it.Solo {
+		if a.n > 0 {
+			return false
+		}
+		a.solo = true
+		a.n = 1
+		return true
+	}
+	for _, k := range it.Excl {
+		if a.claimed[k] || a.readClaimed[k] {
+			return false
+		}
+	}
+	for _, k := range it.Read {
+		if a.claimed[k] {
+			return false
+		}
+	}
+	if a.budget > 0 {
+		for _, cl := range it.Shared {
+			if u := a.usage[cl.Key]; u > 0 && u+cl.Cost > a.budget {
+				return false
+			}
+		}
+	}
+	for _, k := range it.Excl {
+		a.claimed[k] = true
+	}
+	for _, k := range it.Read {
+		a.readClaimed[k] = true
+	}
+	for _, cl := range it.Shared {
+		a.usage[cl.Key] += cl.Cost
+	}
+	a.n++
+	return true
+}

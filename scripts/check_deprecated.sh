@@ -1,0 +1,38 @@
+#!/usr/bin/env sh
+# check_deprecated.sh — assert no in-repo non-test code still calls the
+# facade's deprecated surfaces.
+#
+# The PR 5/6 API redesign left the pre-redesign methods (ApplyBatch,
+# Connected/ConnectedBatch/ComponentOf, MateOf/MateOfBatch/Matched) as
+# thin deprecated wrappers over Apply/Ingest. Examples and tools are the
+# reference usage, so they must speak the current API: any non-test .go
+# file that constructs a facade structure (dmpc.NewConnectivity, NewMST,
+# NewMaximalMatching, NewThreeHalvesMatching, NewAlmostMaximalMatching)
+# must not call a deprecated method token. Internal packages keep their
+# own same-named methods (dyncon.ApplyBatch etc.) — those are the
+# implementation, not the deprecated facade, and files using only the
+# internal constructors are exempt.
+#
+# Run from the repo root: sh scripts/check_deprecated.sh
+set -eu
+
+fail=0
+for f in $(git ls-files '*.go' 2>/dev/null || find . -name '*.go' -not -path './.git/*'); do
+    case "$f" in
+    *_test.go) continue ;; # tests pin the wrappers' delegation on purpose
+    dmpc.go | ./dmpc.go) continue ;; # the wrappers' own definitions
+    esac
+    grep -qE 'dmpc\.New(Connectivity|MST|MaximalMatching|ThreeHalvesMatching|AlmostMaximalMatching)\(' "$f" || continue
+    hits=$(grep -nE '\.(ApplyBatch|Connected|ConnectedBatch|ComponentOf|MateOf|MateOfBatch|Matched)\(' "$f" || true)
+    if [ -n "$hits" ]; then
+        echo "$f calls deprecated facade surfaces:"
+        echo "$hits" | sed 's/^/  /'
+        fail=1
+    fi
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo "use Apply (or Ingest for streaming arrivals) instead; see dmpc.go deprecation notes" >&2
+    exit 1
+fi
+echo "deprecation check: no facade-constructing non-test file calls deprecated surfaces"
