@@ -62,8 +62,8 @@ func arrivalRunners(n, nUpdates int, seed int64) []arrivalRunner {
 		return graph.OpQMateOf(r.Intn(n))
 	}, rand.New(rand.NewSource(seed+400)))
 	return []arrivalRunner{
-		{"Connected comps (§5)", func() dmpc.Pipeline { return dmpc.NewConnectivity(n, capEdges) }, ccOps},
-		{"Maximal matching (§3)", func() dmpc.Pipeline { return dmpc.NewMaximalMatching(n, capEdges) }, mmOps},
+		{"Connected comps (§5)", func() dmpc.Pipeline { return dmpc.NewConnectivity(n, capEdges, benchOpts()...) }, ccOps},
+		{"Maximal matching (§3)", func() dmpc.Pipeline { return dmpc.NewMaximalMatching(n, capEdges, benchOpts()...) }, mmOps},
 	}
 }
 
@@ -119,6 +119,7 @@ func (o boundsOnlyPipeline) Apply(ops []dmpc.Op) (dmpc.Results, dmpc.MixedStats)
 	return o.p.Apply(ops)
 }
 func (o boundsOnlyPipeline) Cluster() *dmpc.Cluster { return o.p.Cluster() }
+func (o boundsOnlyPipeline) Close()                 { o.p.Close() }
 
 // latencyAutoTable runs one Poisson arrival schedule through two
 // AutoBatcher-driven ingests — one free, one tail-constrained — and

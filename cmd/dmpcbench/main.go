@@ -47,6 +47,7 @@ import (
 	"os"
 	"sort"
 	"text/tabwriter"
+	"time"
 
 	"dmpc"
 	"dmpc/internal/core/amm"
@@ -103,7 +104,7 @@ func table(n, nUpdates int, seed int64) []row {
 	}
 	var rows []row
 
-	m1 := dmm.New(dmm.Config{N: n, CapEdges: capEdges})
+	m1 := newDMM(dmm.Config{N: n, CapEdges: capEdges})
 	rows = append(rows, measure("Maximal matching (§3)", "O(1) r, O(1) mach, O(√N) words", mk(1),
 		func(up graph.Update) mpc.UpdateStats {
 			if up.Op == graph.Insert {
@@ -112,7 +113,7 @@ func table(n, nUpdates int, seed int64) []row {
 			return m1.Delete(up.U, up.V)
 		}))
 
-	m2 := dmm.New(dmm.Config{N: n, CapEdges: capEdges, ThreeHalves: true})
+	m2 := newDMM(dmm.Config{N: n, CapEdges: capEdges, ThreeHalves: true})
 	rows = append(rows, measure("3/2-approx matching (§4)", "O(1) r, O(n/√N) mach, O(√N) words", mk(2),
 		func(up graph.Update) mpc.UpdateStats {
 			if up.Op == graph.Insert {
@@ -121,7 +122,7 @@ func table(n, nUpdates int, seed int64) []row {
 			return m2.Delete(up.U, up.V)
 		}))
 
-	m3 := amm.New(amm.Config{N: n, Seed: seed})
+	m3 := newAMM(amm.Config{N: n, Seed: seed})
 	rows = append(rows, measure("(2+ε)-approx matching (§6)", "O(1) r, Õ(1) mach, Õ(1) words", mk(3),
 		func(up graph.Update) mpc.UpdateStats {
 			if up.Op == graph.Insert {
@@ -130,7 +131,7 @@ func table(n, nUpdates int, seed int64) []row {
 			return m3.Delete(up.U, up.V)
 		}))
 
-	d4 := dyncon.New(dyncon.Config{N: n, Mode: dyncon.CC, ExpectedEdges: capEdges})
+	d4 := newDyncon(dyncon.Config{N: n, Mode: dyncon.CC, ExpectedEdges: capEdges})
 	rows = append(rows, measure("Connected comps (§5)", "O(1) r, O(√N) mach, O(√N) words", mk(4),
 		func(up graph.Update) mpc.UpdateStats {
 			if up.Op == graph.Insert {
@@ -139,7 +140,7 @@ func table(n, nUpdates int, seed int64) []row {
 			return d4.Delete(up.U, up.V)
 		}))
 
-	d5 := dyncon.New(dyncon.Config{N: n, Mode: dyncon.MST, Eps: 0.25, ExpectedEdges: capEdges})
+	d5 := newDyncon(dyncon.Config{N: n, Mode: dyncon.MST, Eps: 0.25, ExpectedEdges: capEdges})
 	rows = append(rows, measure("(1+ε)-MST (§5.1)", "O(1) r, O(√N) mach, O(√N) words", mk(5),
 		func(up graph.Update) mpc.UpdateStats {
 			if up.Op == graph.Insert {
@@ -184,23 +185,23 @@ type batchRunner struct {
 func batchRunners(n, capEdges int, seed int64) []batchRunner {
 	return []batchRunner{
 		{"Maximal matching (§3)", func() func(graph.Batch) mpc.BatchStats {
-			m := dmm.New(dmm.Config{N: n, CapEdges: capEdges})
+			m := newDMM(dmm.Config{N: n, CapEdges: capEdges})
 			return m.ApplyBatch
 		}},
 		{"3/2-approx matching (§4)", func() func(graph.Batch) mpc.BatchStats {
-			m := dmm.New(dmm.Config{N: n, CapEdges: capEdges, ThreeHalves: true})
+			m := newDMM(dmm.Config{N: n, CapEdges: capEdges, ThreeHalves: true})
 			return m.ApplyBatch
 		}},
 		{"(2+ε)-approx matching (§6)", func() func(graph.Batch) mpc.BatchStats {
-			m := amm.New(amm.Config{N: n, Seed: seed})
+			m := newAMM(amm.Config{N: n, Seed: seed})
 			return m.ApplyBatch
 		}},
 		{"Connected comps (§5)", func() func(graph.Batch) mpc.BatchStats {
-			d := dyncon.New(dyncon.Config{N: n, Mode: dyncon.CC, ExpectedEdges: capEdges})
+			d := newDyncon(dyncon.Config{N: n, Mode: dyncon.CC, ExpectedEdges: capEdges})
 			return d.ApplyBatch
 		}},
 		{"(1+ε)-MST (§5.1)", func() func(graph.Batch) mpc.BatchStats {
-			d := dyncon.New(dyncon.Config{N: n, Mode: dyncon.MST, Eps: 0.25, ExpectedEdges: capEdges})
+			d := newDyncon(dyncon.Config{N: n, Mode: dyncon.MST, Eps: 0.25, ExpectedEdges: capEdges})
 			return d.ApplyBatch
 		}},
 		{"Reduction: conn comps (§7+HDT)", func() func(graph.Batch) mpc.BatchStats {
@@ -308,18 +309,18 @@ type shardRunner struct {
 func shardRunners(n, capEdges int) []shardRunner {
 	return []shardRunner{
 		{"Connected comps (§5)", "greedy-prefix packer", func() (func(graph.Batch) mpc.BatchStats, func(graph.Batch) mpc.BatchStats) {
-			a := dyncon.New(dyncon.Config{N: n, Mode: dyncon.CC, ExpectedEdges: capEdges})
-			b := dyncon.New(dyncon.Config{N: n, Mode: dyncon.CC, ExpectedEdges: capEdges})
+			a := newDyncon(dyncon.Config{N: n, Mode: dyncon.CC, ExpectedEdges: capEdges})
+			b := newDyncon(dyncon.Config{N: n, Mode: dyncon.CC, ExpectedEdges: capEdges})
 			return a.ApplyBatchPrefix, b.ApplyBatch
 		}},
 		{"(1+ε)-MST (§5.1)", "greedy-prefix packer", func() (func(graph.Batch) mpc.BatchStats, func(graph.Batch) mpc.BatchStats) {
-			a := dyncon.New(dyncon.Config{N: n, Mode: dyncon.MST, Eps: 0.25, ExpectedEdges: capEdges})
-			b := dyncon.New(dyncon.Config{N: n, Mode: dyncon.MST, Eps: 0.25, ExpectedEdges: capEdges})
+			a := newDyncon(dyncon.Config{N: n, Mode: dyncon.MST, Eps: 0.25, ExpectedEdges: capEdges})
+			b := newDyncon(dyncon.Config{N: n, Mode: dyncon.MST, Eps: 0.25, ExpectedEdges: capEdges})
 			return a.ApplyBatchPrefix, b.ApplyBatch
 		}},
 		{"Maximal matching (§3)", "coordinator chaining", func() (func(graph.Batch) mpc.BatchStats, func(graph.Batch) mpc.BatchStats) {
-			a := dmm.New(dmm.Config{N: n, CapEdges: capEdges})
-			b := dmm.New(dmm.Config{N: n, CapEdges: capEdges})
+			a := newDMM(dmm.Config{N: n, CapEdges: capEdges})
+			b := newDMM(dmm.Config{N: n, CapEdges: capEdges})
 			return a.ApplyBatchChained, b.ApplyBatch
 		}},
 	}
@@ -405,11 +406,11 @@ func autoTable(n, nUpdates int, seed int64) []autoRow {
 		mk   func() (func(dmpc.Batch) dmpc.BatchStats, *mpc.Cluster)
 	}{
 		{"Connected comps (§5)", func() (func(dmpc.Batch) dmpc.BatchStats, *mpc.Cluster) {
-			d := dyncon.New(dyncon.Config{N: n, Mode: dyncon.CC, ExpectedEdges: capEdges})
+			d := newDyncon(dyncon.Config{N: n, Mode: dyncon.CC, ExpectedEdges: capEdges})
 			return d.ApplyBatch, d.Cluster()
 		}},
 		{"Maximal matching (§3)", func() (func(dmpc.Batch) dmpc.BatchStats, *mpc.Cluster) {
-			m := dmm.New(dmm.Config{N: n, CapEdges: capEdges})
+			m := newDMM(dmm.Config{N: n, CapEdges: capEdges})
 			return m.ApplyBatch, m.Cluster()
 		}},
 	}
@@ -495,24 +496,24 @@ func mixedRunners(n, capEdges int) []mixedRunner {
 		{"Connected comps (§5)",
 			func(rng *rand.Rand) graph.Op { return graph.OpQConnected(rng.Intn(n), rng.Intn(n)) },
 			func() (func([]graph.Op) (graph.Results, mpc.MixedStats), func() *mpc.Stats, func(graph.Batch) mpc.BatchStats, func([]graph.Op), func() *mpc.Stats) {
-				a := dyncon.New(dyncon.Config{N: n, Mode: dyncon.CC, ExpectedEdges: capEdges})
-				b := dyncon.New(dyncon.Config{N: n, Mode: dyncon.CC, ExpectedEdges: capEdges})
+				a := newDyncon(dyncon.Config{N: n, Mode: dyncon.CC, ExpectedEdges: capEdges})
+				b := newDyncon(dyncon.Config{N: n, Mode: dyncon.CC, ExpectedEdges: capEdges})
 				return a.ApplyOps, func() *mpc.Stats { return a.Cluster().Stats() },
 					b.ApplyBatch, dynconReads(b), func() *mpc.Stats { return b.Cluster().Stats() }
 			}},
 		{"(1+ε)-MST (§5.1)",
 			func(rng *rand.Rand) graph.Op { return graph.OpQConnected(rng.Intn(n), rng.Intn(n)) },
 			func() (func([]graph.Op) (graph.Results, mpc.MixedStats), func() *mpc.Stats, func(graph.Batch) mpc.BatchStats, func([]graph.Op), func() *mpc.Stats) {
-				a := dyncon.New(dyncon.Config{N: n, Mode: dyncon.MST, Eps: 0.25, ExpectedEdges: capEdges})
-				b := dyncon.New(dyncon.Config{N: n, Mode: dyncon.MST, Eps: 0.25, ExpectedEdges: capEdges})
+				a := newDyncon(dyncon.Config{N: n, Mode: dyncon.MST, Eps: 0.25, ExpectedEdges: capEdges})
+				b := newDyncon(dyncon.Config{N: n, Mode: dyncon.MST, Eps: 0.25, ExpectedEdges: capEdges})
 				return a.ApplyOps, func() *mpc.Stats { return a.Cluster().Stats() },
 					b.ApplyBatch, dynconReads(b), func() *mpc.Stats { return b.Cluster().Stats() }
 			}},
 		{"Maximal matching (§3)",
 			func(rng *rand.Rand) graph.Op { return graph.OpQMateOf(rng.Intn(n)) },
 			func() (func([]graph.Op) (graph.Results, mpc.MixedStats), func() *mpc.Stats, func(graph.Batch) mpc.BatchStats, func([]graph.Op), func() *mpc.Stats) {
-				a := dmm.New(dmm.Config{N: n, CapEdges: capEdges})
-				b := dmm.New(dmm.Config{N: n, CapEdges: capEdges})
+				a := newDMM(dmm.Config{N: n, CapEdges: capEdges})
+				b := newDMM(dmm.Config{N: n, CapEdges: capEdges})
 				baseReads := func(qs []graph.Op) {
 					vs := make([]int, len(qs))
 					for i, q := range qs {
@@ -661,23 +662,23 @@ func queryRunners(n, capEdges int, seed int64) []queryRunner {
 	mates := func(k int, rng *rand.Rand) []int { return graph.RandomVerts(n, k, rng) }
 	return []queryRunner{
 		{"Connected comps (§5)", func() (func(graph.Batch) mpc.BatchStats, func(int, *rand.Rand), func() *mpc.Stats) {
-			d := dyncon.New(dyncon.Config{N: n, Mode: dyncon.CC, ExpectedEdges: capEdges})
+			d := newDyncon(dyncon.Config{N: n, Mode: dyncon.CC, ExpectedEdges: capEdges})
 			return d.ApplyBatch, func(k int, rng *rand.Rand) { d.ConnectedBatch(graph.RandomPairs(n, k, rng)) }, func() *mpc.Stats { return d.Cluster().Stats() }
 		}},
 		{"(1+ε)-MST (§5.1)", func() (func(graph.Batch) mpc.BatchStats, func(int, *rand.Rand), func() *mpc.Stats) {
-			d := dyncon.New(dyncon.Config{N: n, Mode: dyncon.MST, Eps: 0.25, ExpectedEdges: capEdges})
+			d := newDyncon(dyncon.Config{N: n, Mode: dyncon.MST, Eps: 0.25, ExpectedEdges: capEdges})
 			return d.ApplyBatch, func(k int, rng *rand.Rand) { d.ConnectedBatch(graph.RandomPairs(n, k, rng)) }, func() *mpc.Stats { return d.Cluster().Stats() }
 		}},
 		{"Maximal matching (§3)", func() (func(graph.Batch) mpc.BatchStats, func(int, *rand.Rand), func() *mpc.Stats) {
-			m := dmm.New(dmm.Config{N: n, CapEdges: capEdges})
+			m := newDMM(dmm.Config{N: n, CapEdges: capEdges})
 			return m.ApplyBatch, func(k int, rng *rand.Rand) { m.MateOfBatch(mates(k, rng)) }, func() *mpc.Stats { return m.Cluster().Stats() }
 		}},
 		{"3/2-approx matching (§4)", func() (func(graph.Batch) mpc.BatchStats, func(int, *rand.Rand), func() *mpc.Stats) {
-			m := dmm.New(dmm.Config{N: n, CapEdges: capEdges, ThreeHalves: true})
+			m := newDMM(dmm.Config{N: n, CapEdges: capEdges, ThreeHalves: true})
 			return m.ApplyBatch, func(k int, rng *rand.Rand) { m.MateOfBatch(mates(k, rng)) }, func() *mpc.Stats { return m.Cluster().Stats() }
 		}},
 		{"(2+ε)-approx matching (§6)", func() (func(graph.Batch) mpc.BatchStats, func(int, *rand.Rand), func() *mpc.Stats) {
-			m := amm.New(amm.Config{N: n, Seed: seed})
+			m := newAMM(amm.Config{N: n, Seed: seed})
 			return m.ApplyBatch, func(k int, rng *rand.Rand) { m.MateOfBatch(mates(k, rng)) }, func() *mpc.Stats { return m.Cluster().Stats() }
 		}},
 	}
@@ -815,6 +816,12 @@ type benchReport struct {
 
 	Arrivals    []arrivalRow     `json:"arrivals,omitempty"`
 	LatencyAuto []latencyAutoRow `json:"latency_autobatch,omitempty"`
+
+	// Backend records the -backend flag the (non-wallclock) tables ran
+	// on; Wall is the sim-vs-parallel wall-clock trajectory, which always
+	// measures both backends.
+	Backend string    `json:"backend,omitempty"`
+	Wall    []wallRow `json:"wallclock,omitempty"`
 }
 
 // buildReport assembles the machine-readable measurement document.
@@ -955,8 +962,53 @@ func checkBaseline(rep benchReport, path string, tol float64) error {
 				l.Name, l.Gen, l.Target, l.BoundK, l.FreeK)
 		}
 	}
+	// Wall-clock gates. Rounds/op is deterministic, so (a) it may not
+	// drift past the snapshot, and (b) within the run the two backends
+	// must agree on it exactly — a rounds-vs-time divergence means a
+	// backend changed the computation, not just its speed. The ns columns
+	// are machine-dependent and never gated against the snapshot; what IS
+	// an invariant is the trajectory's headline: at n >= 10^4 the parallel
+	// backend must beat the sim oracle's makespan on the same stream.
+	type wkey struct {
+		name, backend string
+		n             int
+	}
+	wallBase := make(map[wkey]float64, len(want.Wall))
+	for _, w := range want.Wall {
+		wallBase[wkey{w.Name, w.Backend, w.N}] = w.RoundsPerOp
+	}
+	simWall := make(map[wkey]wallRow, len(rep.Wall))
+	for _, w := range rep.Wall {
+		if w.Backend == "sim" {
+			simWall[wkey{name: w.Name, n: w.N}] = w
+		}
+	}
+	for _, w := range rep.Wall {
+		if wantR, ok := wallBase[wkey{w.Name, w.Backend, w.N}]; ok {
+			matched++
+			if w.RoundsPerOp > wantR*(1+tol) {
+				return fmt.Errorf("%s (n=%d, %s): wall-clock rounds/op %.3f regressed past snapshot %.3f by more than %.0f%% (%s)",
+					w.Name, w.N, w.Backend, w.RoundsPerOp, wantR, tol*100, path)
+			}
+		}
+		if w.Backend != "parallel" {
+			continue
+		}
+		sim, ok := simWall[wkey{name: w.Name, n: w.N}]
+		if !ok {
+			continue
+		}
+		if w.RoundsPerOp != sim.RoundsPerOp {
+			return fmt.Errorf("%s (n=%d): backends diverge on rounds/op (parallel %.3f vs sim %.3f) — the determinism rule is broken",
+				w.Name, w.N, w.RoundsPerOp, sim.RoundsPerOp)
+		}
+		if w.N >= 10_000 && w.MakespanNs > sim.MakespanNs*102/100 {
+			return fmt.Errorf("%s (n=%d): parallel backend no longer beats the sim oracle (makespan %s vs %s)",
+				w.Name, w.N, time.Duration(w.MakespanNs), time.Duration(sim.MakespanNs))
+		}
+	}
 	if matched == 0 {
-		return fmt.Errorf("%s: no batch, mixed or arrival rows matched this run (was the snapshot generated with -batch/-mixed/-arrivals?)", path)
+		return fmt.Errorf("%s: no batch, mixed, arrival or wallclock rows matched this run (was the snapshot generated with -batch/-mixed/-arrivals/-wallclock?)", path)
 	}
 	return nil
 }
@@ -998,7 +1050,7 @@ type sweepRow struct {
 func sweepRows(seed int64) []sweepRow {
 	var rows []sweepRow
 	for _, n := range []int{64, 128, 256, 512, 1024} {
-		d := dyncon.New(dyncon.Config{N: n, Mode: dyncon.CC, ExpectedEdges: 5 * n})
+		d := newDyncon(dyncon.Config{N: n, Mode: dyncon.CC, ExpectedEdges: 5 * n})
 		rng := rand.New(rand.NewSource(seed))
 		var maxR, maxA, maxW int
 		for _, up := range graph.RandomStream(n, 300, 0.55, 1, rng) {
@@ -1050,10 +1102,21 @@ func main() {
 	doMixed := flag.Bool("mixed", false, "measure the unified op pipeline (in-wave reads) against the quiescence split at k in {8,64,256}")
 	doArrivals := flag.Bool("arrivals", false, "measure streaming ingestion latency (p50/p95/p99 rounds from arrival) at batch bounds k in {8,64,256} plus the tail-constrained AutoBatcher comparison")
 	readfrac := flag.Float64("readfrac", 0.5, "target read fraction of the mixed workload")
+	backendFlag := flag.String("backend", "sim", "execution backend for the measurement tables: sim (deterministic oracle) or parallel (goroutine-per-machine runtime)")
+	workers := flag.Int("workers", 0, "backend worker bound (0 = GOMAXPROCS); never changes rounds, only wall-clock time")
+	doWall := flag.Bool("wallclock", false, "measure the sim-vs-parallel wall-clock trajectory (ns/op and makespan next to rounds/op) over the -wallmax n ladder")
+	wallMax := flag.Int("wallmax", 100_000, "largest n of the -wallclock ladder (CI smoke caps this; snapshots record the full climb)")
 	asJSON := flag.Bool("json", false, "emit the measurements as JSON")
 	baseline := flag.String("baseline", "", "committed BENCH_*.json snapshot to compare amortized batch rounds against; exit nonzero on >tolerance regression")
 	tolerance := flag.Float64("tolerance", 0.10, "relative regression tolerance for -baseline")
 	flag.Parse()
+
+	be, err := mpc.ParseBackend(*backendFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dmpcbench:", err)
+		os.Exit(2)
+	}
+	benchBackend, benchWorkers = be, *workers
 
 	rows := table(*n, *updates, *seed)
 	var brows []batchRow
@@ -1095,9 +1158,15 @@ func main() {
 		arrRows = arrivalTable(*n, *updates, *seed)
 		latRows = latencyAutoTable(*n, *updates, *seed)
 	}
+	var wrows []wallRow
+	if *doWall {
+		wrows = wallTable(*updates, *seed, *wallMax)
+	}
 	rep := buildReport(rows, brows, shrows, arows, qrows, mrows, srows, *n, *updates, *batch, queryUpdK, *readfrac, *seed)
 	rep.Arrivals = arrRows
 	rep.LatencyAuto = latRows
+	rep.Backend = benchBackend.String()
+	rep.Wall = wrows
 	if *baseline != "" {
 		if err := checkBaseline(rep, *baseline, *tolerance); err != nil {
 			fmt.Fprintln(os.Stderr, "dmpcbench: bench regression:", err)
@@ -1128,6 +1197,9 @@ func main() {
 	}
 	if *doArrivals {
 		printArrivalTable(arrRows, latRows)
+	}
+	if *doWall {
+		printWallTable(wrows)
 	}
 	staticBaselines(*n, *seed)
 	if *doSweep {

@@ -124,7 +124,53 @@ type (
 	QueryStats = mpc.QueryStats
 	// Cluster is the simulated DMPC cluster.
 	Cluster = mpc.Cluster
+	// BackendKind selects the cluster's execution backend; see the
+	// BackendSim and BackendParallel constants and WithBackend.
+	BackendKind = mpc.BackendKind
 )
+
+// Execution backends (see internal/mpc and DESIGN.md §2d). Every backend
+// produces bit-identical answers and accounting for the same op history —
+// pinned by the backend-equivalence fuzz suites — and differs only in
+// wall-clock time.
+const (
+	// BackendSim is the deterministic single-driver simulator loop, the
+	// correctness and accounting oracle. The zero-value default.
+	BackendSim = mpc.BackendSim
+	// BackendParallel is the goroutine-per-machine parallel runtime:
+	// long-lived channel-woken workers with a deterministic merge at the
+	// round barrier. Structures built on it must be Closed.
+	BackendParallel = mpc.BackendParallel
+)
+
+// ParseBackend parses the CLI spelling of a backend kind ("sim" or
+// "parallel").
+func ParseBackend(s string) (BackendKind, error) { return mpc.ParseBackend(s) }
+
+// Option configures a structure at construction time.
+type Option func(*options)
+
+type options struct {
+	backend mpc.BackendKind
+	workers int
+}
+
+func buildOptions(opts []Option) options {
+	var o options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return o
+}
+
+// WithBackend selects the cluster execution backend (default BackendSim).
+// A structure built with BackendParallel owns worker goroutines and must
+// be released with Close when done.
+func WithBackend(k BackendKind) Option { return func(o *options) { o.backend = k } }
+
+// WithWorkers bounds the backend's handler concurrency (0 = GOMAXPROCS).
+// Worker count never changes answers or accounting, only wall-clock time.
+func WithWorkers(n int) Option { return func(o *options) { o.workers = n } }
 
 // Operation kinds for Update.Op and Op.Kind.
 const (
@@ -209,6 +255,10 @@ func NewGraph(n int) *Graph { return graph.New(n) }
 type Pipeline interface {
 	Apply(ops []Op) (Results, MixedStats)
 	Cluster() *Cluster
+	// Close releases the cluster's execution backend (the parallel
+	// backend's worker goroutines). A no-op for BackendSim structures;
+	// the structure must not be used afterwards.
+	Close()
 }
 
 // Compile-time assertions: all four structures implement Pipeline.
@@ -256,6 +306,9 @@ func (p pipe) Apply(ops []Op) (Results, MixedStats) {
 // Cluster exposes the underlying cluster accounting.
 func (p pipe) Cluster() *Cluster { return p.cl }
 
+// Close releases the cluster's execution backend; see Pipeline.
+func (p pipe) Close() { p.cl.Close() }
+
 // rawApply is the un-ingested scheduled pipeline — what an Ingestor
 // flush calls, so routing Apply through a degenerate Ingestor cannot
 // recurse.
@@ -280,8 +333,9 @@ type Connectivity struct {
 
 // NewConnectivity builds a fully-dynamic connected-components structure on
 // n vertices, sized for expectedEdges simultaneous edges (0 = default).
-func NewConnectivity(n, expectedEdges int) *Connectivity {
-	d := dyncon.New(dyncon.Config{N: n, Mode: dyncon.CC, ExpectedEdges: expectedEdges})
+func NewConnectivity(n, expectedEdges int, opts ...Option) *Connectivity {
+	o := buildOptions(opts)
+	d := dyncon.New(dyncon.Config{N: n, Mode: dyncon.CC, ExpectedEdges: expectedEdges, Backend: o.backend, Workers: o.workers})
 	return &Connectivity{pipe: newPipe(d.ApplyOps, d.StreamItem, d.Cluster()), d: d}
 }
 
@@ -332,8 +386,9 @@ type MST struct {
 }
 
 // NewMST builds a fully-dynamic MSF structure.
-func NewMST(n int, eps float64, expectedEdges int) *MST {
-	d := dyncon.New(dyncon.Config{N: n, Mode: dyncon.MST, Eps: eps, ExpectedEdges: expectedEdges})
+func NewMST(n int, eps float64, expectedEdges int, opts ...Option) *MST {
+	o := buildOptions(opts)
+	d := dyncon.New(dyncon.Config{N: n, Mode: dyncon.MST, Eps: eps, ExpectedEdges: expectedEdges, Backend: o.backend, Workers: o.workers})
 	return &MST{pipe: newPipe(d.ApplyOps, d.StreamItem, d.Cluster()), d: d}
 }
 
@@ -424,15 +479,17 @@ type MaximalMatching struct {
 
 // NewMaximalMatching builds the §3 structure for n vertices and at most
 // capEdges simultaneous edges.
-func NewMaximalMatching(n, capEdges int) *MaximalMatching {
-	m := dmm.New(dmm.Config{N: n, CapEdges: capEdges})
+func NewMaximalMatching(n, capEdges int, opts ...Option) *MaximalMatching {
+	o := buildOptions(opts)
+	m := dmm.New(dmm.Config{N: n, CapEdges: capEdges, Backend: o.backend, Workers: o.workers})
 	return &MaximalMatching{pipe: newPipe(m.ApplyOps, m.StreamItem, m.Cluster()), m: m}
 }
 
 // NewThreeHalvesMatching builds the §4 structure: a 3/2-approximate
 // maximum matching (the graph must start empty, which it does).
-func NewThreeHalvesMatching(n, capEdges int) *MaximalMatching {
-	m := dmm.New(dmm.Config{N: n, CapEdges: capEdges, ThreeHalves: true})
+func NewThreeHalvesMatching(n, capEdges int, opts ...Option) *MaximalMatching {
+	o := buildOptions(opts)
+	m := dmm.New(dmm.Config{N: n, CapEdges: capEdges, ThreeHalves: true, Backend: o.backend, Workers: o.workers})
 	return &MaximalMatching{pipe: newPipe(m.ApplyOps, m.StreamItem, m.Cluster()), m: m}
 }
 
@@ -501,8 +558,9 @@ func ammStreamItem(op graph.Op) sched.Item {
 }
 
 // NewAlmostMaximalMatching builds the §6 structure.
-func NewAlmostMaximalMatching(n int, eps float64, seed int64) *AlmostMaximalMatching {
-	m := amm.New(amm.Config{N: n, Eps: eps, Seed: seed})
+func NewAlmostMaximalMatching(n int, eps float64, seed int64, opts ...Option) *AlmostMaximalMatching {
+	o := buildOptions(opts)
+	m := amm.New(amm.Config{N: n, Eps: eps, Seed: seed, Backend: o.backend, Workers: o.workers})
 	return &AlmostMaximalMatching{pipe: newPipe(m.ApplyOps, ammStreamItem, m.Cluster()), m: m}
 }
 

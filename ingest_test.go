@@ -306,3 +306,4 @@ type foreignPipeline struct{ inner *Connectivity }
 
 func (f foreignPipeline) Apply(ops []Op) (Results, MixedStats) { return f.inner.Apply(ops) }
 func (f foreignPipeline) Cluster() *Cluster                    { return f.inner.Cluster() }
+func (f foreignPipeline) Close()                               { f.inner.Close() }

@@ -54,6 +54,11 @@ type Config struct {
 	Delta    int     // batch budget; default 4·⌈log2 n⌉
 	Seed     int64
 	Machines int // 0 = auto
+	// Backend selects the cluster execution backend (zero value =
+	// mpc.BackendSim oracle; mpc.BackendParallel requires Close).
+	// Workers bounds its handler concurrency (0 = GOMAXPROCS).
+	Backend mpc.BackendKind
+	Workers int
 }
 
 // M is the §6 structure.
@@ -88,7 +93,7 @@ func New(cfg Config) *M {
 	for pow(cfg.Gamma, levels) < cfg.N {
 		levels++
 	}
-	cl := mpc.NewCluster(mpc.Config{Machines: mu + 1, MemWords: 1 << 20})
+	cl := mpc.NewCluster(mpc.Config{Machines: mu + 1, MemWords: 1 << 20, Backend: cfg.Backend, Workers: cfg.Workers})
 	m := &M{cfg: cfg}
 	m.cluster = cl
 	m.sched = newScheduler(cfg, mu, levels)
@@ -122,6 +127,10 @@ func pow(b, e int) int {
 
 // Cluster exposes accounting.
 func (m *M) Cluster() *mpc.Cluster { return m.cluster }
+
+// Close releases the cluster's execution backend (the parallel backend's
+// worker goroutines). The structure must not be used afterwards.
+func (m *M) Close() { m.cluster.Close() }
 
 func (m *M) owner(v int) int { return 1 + v%(len(m.shards)) }
 

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"dmpc/internal/graph"
+	"dmpc/internal/mpc"
 )
 
 // FuzzBatchEquivalence is the property-based harness for the randomized §6
@@ -72,6 +73,28 @@ func FuzzBatchEquivalence(f *testing.F) {
 		}
 		if v := batM.Cluster().Stats().Violations; v != 0 {
 			t.Fatalf("k=%d: %d cluster constraint violations", k, v)
+		}
+
+		// Backend-equivalence replica: §6 is randomized but seeded, so a
+		// parallel-backend replica of the *batched* replay (same seed, same
+		// chunks) must land on the bit-identical matching and accounting —
+		// the backend determinism rule survives the randomized scheduler.
+		parM := New(Config{N: n, Seed: 7, Backend: mpc.BackendParallel, Workers: 3})
+		defer parM.Close()
+		for _, b := range graph.Chunk(stream, k) {
+			parM.ApplyBatch(b)
+		}
+		wantT, gotT := batM.MateTable(), parM.MateTable()
+		for v := range wantT {
+			if wantT[v] != gotT[v] {
+				t.Fatalf("k=%d: parallel replica mate of %d: %d, sim %d", k, v, gotT[v], wantT[v])
+			}
+		}
+		a, b := batM.Cluster().Stats(), parM.Cluster().Stats()
+		if a.Rounds != b.Rounds || a.Words != b.Words || a.Messages != b.Messages ||
+			a.Violations != b.Violations || a.PeakMemWords != b.PeakMemWords {
+			t.Fatalf("k=%d: parallel replica accounting (rounds %d, words %d) diverges from sim (rounds %d, words %d)",
+				k, b.Rounds, b.Words, a.Rounds, a.Words)
 		}
 	})
 }

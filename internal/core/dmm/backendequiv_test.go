@@ -1,0 +1,45 @@
+package dmm
+
+import (
+	"testing"
+
+	"dmpc/internal/mpc"
+)
+
+// parallelConfig retargets a fuzz config at the goroutine-per-machine
+// backend with a worker count small enough to force sharding, so corpus
+// replay (and CI's -race replay) exercises the channel-woken worker path
+// rather than the driver-inline fast path.
+func parallelConfig(cfg Config) Config {
+	cfg.Backend = mpc.BackendParallel
+	cfg.Workers = 3
+	return cfg
+}
+
+// assertBackendEquivalent pins the backend determinism rule between a
+// sim-backend instance and a parallel-backend replica that consumed the
+// same chunked stream: identical mate table and bit-identical cluster
+// accounting.
+func assertBackendEquivalent(t *testing.T, sim, par *M) {
+	t.Helper()
+	wantT, gotT := sim.MateTable(), par.MateTable()
+	for v := range wantT {
+		if wantT[v] != gotT[v] {
+			t.Fatalf("parallel replica mate of %d: %d, sim %d", v, gotT[v], wantT[v])
+		}
+	}
+	assertSameAccounting(t, sim.Cluster(), par.Cluster())
+}
+
+// assertSameAccounting compares the accounting a backend must reproduce
+// bit for bit regardless of execution strategy.
+func assertSameAccounting(t *testing.T, sim, par *mpc.Cluster) {
+	t.Helper()
+	a, b := sim.Stats(), par.Stats()
+	if a.Rounds != b.Rounds || a.Words != b.Words || a.Messages != b.Messages ||
+		a.Violations != b.Violations || a.PeakMemWords != b.PeakMemWords {
+		t.Fatalf("parallel replica accounting (rounds %d, words %d, msgs %d, viol %d, peak %d) diverges from sim (rounds %d, words %d, msgs %d, viol %d, peak %d)",
+			b.Rounds, b.Words, b.Messages, b.Violations, b.PeakMemWords,
+			a.Rounds, a.Words, a.Messages, a.Violations, a.PeakMemWords)
+	}
+}

@@ -61,6 +61,11 @@ type Config struct {
 	// 3/2-approximate at the price of O(n/√N) active machines per round.
 	// Per §4 the graph must start empty (it does).
 	ThreeHalves bool
+	// Backend selects the cluster execution backend (zero value =
+	// mpc.BackendSim oracle; mpc.BackendParallel requires Close).
+	// Workers bounds its handler concurrency (0 = GOMAXPROCS).
+	Backend mpc.BackendKind
+	Workers int
 }
 
 // M is the §3 dynamic maximal matching structure.
@@ -110,7 +115,7 @@ func New(cfg Config) *M {
 		mem = need
 	}
 
-	cl := mpc.NewCluster(mpc.Config{Machines: mu, MemWords: mem})
+	cl := mpc.NewCluster(mpc.Config{Machines: mu, MemWords: mem, Backend: cfg.Backend, Workers: cfg.Workers})
 	m := &M{cfg: cfg}
 	m.cluster = cl
 	m.coord = newCoordinator(cfg, mu, numStats, statsPer, mem, heavyAt, aliveCap)
@@ -130,6 +135,10 @@ func New(cfg Config) *M {
 
 // Cluster exposes the underlying cluster for accounting.
 func (m *M) Cluster() *mpc.Cluster { return m.cluster }
+
+// Close releases the cluster's execution backend (the parallel backend's
+// worker goroutines). The structure must not be used afterwards.
+func (m *M) Close() { m.cluster.Close() }
 
 // Insert adds edge (u,v), returning the update's accounting.
 func (m *M) Insert(u, v int) mpc.UpdateStats {

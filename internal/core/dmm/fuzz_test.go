@@ -89,5 +89,16 @@ func FuzzBatchEquivalence(f *testing.F) {
 		if v := batM.Cluster().Stats().Violations; v != 0 {
 			t.Fatalf("k=%d: %d cluster constraint violations", k, v)
 		}
+
+		// Backend-equivalence replica: the same chunks on the goroutine-
+		// per-machine runtime must reproduce the sim batches bit for bit —
+		// mate table and cluster accounting — so every committed corpus
+		// seed doubles as a backend determinism case.
+		parM := New(parallelConfig(Config{N: n, CapEdges: capEdges}))
+		defer parM.Close()
+		for _, b := range graph.Chunk(stream, k) {
+			parM.ApplyBatch(b)
+		}
+		assertBackendEquivalent(t, batM, parM)
 	})
 }

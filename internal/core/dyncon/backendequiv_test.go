@@ -1,0 +1,56 @@
+package dyncon
+
+import (
+	"testing"
+
+	"dmpc/internal/mpc"
+)
+
+// parallelConfig retargets a fuzz config at the goroutine-per-machine
+// backend with a worker count small enough to force sharding, so corpus
+// replay (and CI's -race replay) exercises the channel-woken worker path
+// rather than the driver-inline fast path.
+func parallelConfig(cfg Config) Config {
+	cfg.Backend = mpc.BackendParallel
+	cfg.Workers = 3
+	return cfg
+}
+
+// assertBackendEquivalent pins the backend determinism rule between a
+// sim-backend instance and a parallel-backend replica that consumed the
+// same chunked stream: identical forest, component labels and distributed
+// invariants, and bit-identical cluster accounting.
+func assertBackendEquivalent(t *testing.T, sim, par *D) {
+	t.Helper()
+	if err := par.Validate(); err != nil {
+		t.Fatalf("parallel replica invariants: %v", err)
+	}
+	wf, pf := forestKey(sim), forestKey(par)
+	if len(wf) != len(pf) {
+		t.Fatalf("parallel replica forest size %d, sim %d", len(pf), len(wf))
+	}
+	for i := range wf {
+		if wf[i] != pf[i] {
+			t.Fatalf("parallel replica forest edge %d: %v, sim %v", i, pf[i], wf[i])
+		}
+	}
+	for v := 0; v < sim.cfg.N; v++ {
+		if sim.CompOf(v) != par.CompOf(v) {
+			t.Fatalf("parallel replica component of %d: %d, sim %d", v, par.CompOf(v), sim.CompOf(v))
+		}
+	}
+	assertSameAccounting(t, sim.Cluster(), par.Cluster())
+}
+
+// assertSameAccounting compares the accounting a backend must reproduce
+// bit for bit regardless of execution strategy.
+func assertSameAccounting(t *testing.T, sim, par *mpc.Cluster) {
+	t.Helper()
+	a, b := sim.Stats(), par.Stats()
+	if a.Rounds != b.Rounds || a.Words != b.Words || a.Messages != b.Messages ||
+		a.Violations != b.Violations || a.PeakMemWords != b.PeakMemWords {
+		t.Fatalf("parallel replica accounting (rounds %d, words %d, msgs %d, viol %d, peak %d) diverges from sim (rounds %d, words %d, msgs %d, viol %d, peak %d)",
+			b.Rounds, b.Words, b.Messages, b.Violations, b.PeakMemWords,
+			a.Rounds, a.Words, a.Messages, a.Violations, a.PeakMemWords)
+	}
+}

@@ -71,6 +71,12 @@ type Config struct {
 	Machines      int
 	MemWords      int
 	ExpectedEdges int
+	// Backend selects the cluster execution backend (the zero value is
+	// the deterministic mpc.BackendSim oracle; mpc.BackendParallel is
+	// the goroutine-per-machine runtime and requires Close). Workers
+	// bounds its handler concurrency (0 = GOMAXPROCS).
+	Backend mpc.BackendKind
+	Workers int
 }
 
 // D is a fully-dynamic connectivity/MST structure over a simulated DMPC
@@ -111,6 +117,8 @@ func New(cfg Config) *D {
 	if min := 40*auto.Machines + 64; auto.MemWords < min {
 		auto.MemWords = min
 	}
+	auto.Backend = cfg.Backend
+	auto.Workers = cfg.Workers
 	d := &D{cfg: cfg}
 	d.cluster = mpc.NewCluster(auto)
 	d.shards = make([]*shard, auto.Machines)
@@ -131,6 +139,10 @@ func (d *D) registry(comp int64) int { return int(comp % int64(len(d.shards))) }
 
 // Cluster exposes the underlying cluster (stats, entropy metric).
 func (d *D) Cluster() *mpc.Cluster { return d.cluster }
+
+// Close releases the cluster's execution backend (the parallel backend's
+// worker goroutines). The structure must not be used afterwards.
+func (d *D) Close() { d.cluster.Close() }
 
 func (d *D) opWeight(w graph.Weight) graph.Weight {
 	if d.cfg.Mode == MST && d.cfg.Eps > 0 {

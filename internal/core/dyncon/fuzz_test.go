@@ -82,5 +82,16 @@ func FuzzBatchEquivalence(f *testing.F) {
 		if v := batD.Cluster().Stats().Violations; v != 0 {
 			t.Fatalf("mode=%v k=%d: %d cluster constraint violations", cfg.Mode, k, v)
 		}
+
+		// Backend-equivalence replica: the same chunks on the goroutine-
+		// per-machine runtime must reproduce the sim batches bit for bit —
+		// state, invariants and cluster accounting — so every committed
+		// corpus seed doubles as a backend determinism case.
+		parD := New(parallelConfig(cfg))
+		defer parD.Close()
+		for _, b := range graph.Chunk(stream, k) {
+			parD.ApplyBatch(b)
+		}
+		assertBackendEquivalent(t, batD, parD)
 	})
 }

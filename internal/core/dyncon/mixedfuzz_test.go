@@ -106,5 +106,25 @@ func FuzzMixedEquivalence(f *testing.F) {
 		if v := batD.Cluster().Stats().Violations; v != 0 {
 			t.Fatalf("mode=%v k=%d: %d cluster constraint violations", cfg.Mode, k, v)
 		}
+
+		// Backend-equivalence replica: the same mixed chunks on the
+		// goroutine-per-machine runtime must answer every in-wave query
+		// identically and reproduce state and accounting bit for bit.
+		parD := New(parallelConfig(cfg))
+		defer parD.Close()
+		var pgot graph.Results
+		for _, chunk := range graph.SplitOps(ops, k) {
+			res, _ := parD.ApplyOps(chunk)
+			pgot = append(pgot, res...)
+		}
+		if len(pgot) != len(got) {
+			t.Fatalf("parallel replica answered %d queries, sim %d", len(pgot), len(got))
+		}
+		for j := range got {
+			if pgot[j] != got[j] {
+				t.Fatalf("parallel replica answered query %d %+v, sim %+v", j, pgot[j], got[j])
+			}
+		}
+		assertBackendEquivalent(t, batD, parD)
 	})
 }

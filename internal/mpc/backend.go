@@ -1,0 +1,216 @@
+package mpc
+
+import (
+	"fmt"
+	"sort"
+)
+
+// BackendKind selects the execution backend of a Cluster — the runtime
+// that owns message delivery and scheduling state and executes the
+// machine-step loop. All backends are observationally identical: for the
+// same machine programs and the same injected inputs they produce
+// bit-identical answers, Stats accounting, and violation counts (pinned
+// by the backend-equivalence suites over the committed fuzz corpora).
+// They differ only in wall-clock time.
+type BackendKind int
+
+const (
+	// BackendSim is the deterministic single-driver simulator loop: the
+	// driver goroutine orchestrates every round, spawning short-lived
+	// handler goroutines bounded by Config.Workers. It is the
+	// correctness and accounting oracle every other backend is measured
+	// against.
+	BackendSim BackendKind = iota
+	// BackendParallel is the goroutine-per-machine runtime: long-lived
+	// worker goroutines (one per machine, sharded when µ exceeds the
+	// worker cap) woken over channels each round, with a contiguous
+	// per-round context slab staging outgoing messages lock-free per
+	// sender and a deterministic ascending-id merge at the round
+	// barrier. Same
+	// answers and stats as BackendSim, measured in real time.
+	BackendParallel
+)
+
+// String returns the CLI spelling of the backend kind.
+func (k BackendKind) String() string {
+	switch k {
+	case BackendSim:
+		return "sim"
+	case BackendParallel:
+		return "parallel"
+	}
+	return fmt.Sprintf("BackendKind(%d)", int(k))
+}
+
+// ParseBackend parses the CLI spelling of a backend kind ("sim" or
+// "parallel").
+func ParseBackend(s string) (BackendKind, error) {
+	switch s {
+	case "sim":
+		return BackendSim, nil
+	case "parallel":
+		return BackendParallel, nil
+	}
+	return BackendSim, fmt.Errorf("unknown backend %q (want sim or parallel)", s)
+}
+
+// Backend executes the machine-step loop of a Cluster: it owns the
+// per-machine inboxes and next-round schedules, delivers externally
+// injected messages, and runs one synchronous round at a time. The
+// Cluster folds the returned RoundStats into its accounting windows; a
+// backend must produce bit-identical RoundStats, Stats side effects
+// (pairWords, violations, peak memory) and machine state transitions for
+// a given input history regardless of its execution strategy — the
+// determinism rule that keeps every backend interchangeable with the
+// BackendSim oracle.
+type Backend interface {
+	// Deliver enqueues an externally injected message for the next round.
+	Deliver(msg Message)
+	// Schedule marks machine id active in the next round.
+	Schedule(id int)
+	// Quiescent reports whether another Round would be a no-op.
+	Quiescent() bool
+	// Round executes one synchronous round and returns its statistics.
+	Round() RoundStats
+	// Close releases backend resources (long-lived worker goroutines).
+	// The cluster must not Round after Close; Close is idempotent.
+	Close()
+}
+
+// backendBase is the delivery, scheduling and staging state shared by
+// every backend, plus the deterministic pre- and post-round phases. Only
+// the handler-execution phase in between differs per backend, so the
+// accounting-relevant code paths exist exactly once.
+type backendBase struct {
+	c       *Cluster
+	inboxes [][]Message
+	sched   []bool
+	active  []int // per-round scratch: active machine ids, ascending
+}
+
+func newBackendBase(c *Cluster) backendBase {
+	return backendBase{
+		c:       c,
+		inboxes: make([][]Message, c.cfg.Machines),
+		sched:   make([]bool, c.cfg.Machines),
+	}
+}
+
+// Deliver enqueues an externally injected message (Cluster.Send). An
+// out-of-range destination is a model violation, not an index panic, and
+// injected words count toward the pair-communication distribution so
+// CommEntropy sees the cluster's full traffic.
+func (b *backendBase) Deliver(msg Message) {
+	if msg.Words <= 0 {
+		msg.Words = 1
+	}
+	if msg.To < 0 || msg.To >= len(b.inboxes) {
+		b.c.violation("external send to invalid machine %d", msg.To)
+		return
+	}
+	b.c.stats.pairWords[[2]int{msg.From, msg.To}] += msg.Words
+	b.inboxes[msg.To] = append(b.inboxes[msg.To], msg)
+}
+
+// Schedule marks machine id active for the next round.
+func (b *backendBase) Schedule(id int) {
+	b.sched[id] = true
+}
+
+// Quiescent reports whether no machine has pending messages or
+// scheduling.
+func (b *backendBase) Quiescent() bool {
+	for i := range b.inboxes {
+		if len(b.inboxes[i]) > 0 || b.sched[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// beginRound computes the round's active set (ascending machine id, into
+// the reused scratch slice) and the delivery statistics.
+func (b *backendBase) beginRound() ([]int, RoundStats) {
+	b.active = b.active[:0]
+	var rs RoundStats
+	for id := range b.c.machines {
+		if len(b.inboxes[id]) > 0 || b.sched[id] {
+			b.active = append(b.active, id)
+			for _, m := range b.inboxes[id] {
+				rs.Words += m.Words
+				rs.Messages++
+			}
+		}
+	}
+	rs.Active = len(b.active)
+	return b.active, rs
+}
+
+// sortInbox orders a machine's inbox deterministically: by sender, then
+// per-sender sequence number. Ties (external messages share From -1 and
+// seq 0) keep arrival order — both paths below are stable, so the result
+// is backend-independent. Small inboxes, the overwhelmingly common case,
+// take an allocation-free insertion sort instead of the reflective
+// sort.SliceStable.
+func sortInbox(inbox []Message) {
+	if len(inbox) <= 32 {
+		for i := 1; i < len(inbox); i++ {
+			for j := i; j > 0 && msgLess(inbox[j], inbox[j-1]); j-- {
+				inbox[j], inbox[j-1] = inbox[j-1], inbox[j]
+			}
+		}
+		return
+	}
+	sort.SliceStable(inbox, func(a, b int) bool { return msgLess(inbox[a], inbox[b]) })
+}
+
+func msgLess(a, b Message) bool {
+	if a.From != b.From {
+		return a.From < b.From
+	}
+	return a.seq < b.seq
+}
+
+// settle is the deterministic round barrier: it clears the consumed
+// inboxes and schedules, stages every active machine's outgoing messages
+// and next-round schedules in ascending machine order — the merge order
+// that keeps delivery, pair accounting and violations bit-identical
+// across backends — enforces the per-machine I/O cap, and folds memory
+// accounting. ctxAt maps an active-set position (and its machine id) to
+// the Ctx the handler ran with.
+func (b *backendBase) settle(active []int, ctxAt func(i, id int) *Ctx) {
+	for _, id := range active {
+		b.inboxes[id] = nil
+		b.sched[id] = false
+	}
+	for i, id := range active {
+		ctx := ctxAt(i, id)
+		sent := 0
+		for _, msg := range ctx.out {
+			sent += msg.Words
+			if msg.To < 0 || msg.To >= len(b.c.machines) {
+				b.c.violation("machine %d sent to invalid machine %d", id, msg.To)
+				continue
+			}
+			b.inboxes[msg.To] = append(b.inboxes[msg.To], msg)
+			b.c.stats.pairWords[[2]int{msg.From, msg.To}] += msg.Words
+		}
+		if sent > b.c.cfg.MemWords {
+			b.c.violation("machine %d sent %d words in one round (cap %d)", id, sent, b.c.cfg.MemWords)
+		}
+		for _, s := range ctx.schedule {
+			b.sched[s] = true
+		}
+	}
+	for _, id := range active {
+		if mr, ok := b.c.machines[id].(MemReporter); ok {
+			w := mr.MemWords()
+			if w > b.c.stats.PeakMemWords {
+				b.c.stats.PeakMemWords = w
+			}
+			if w > b.c.cfg.MemWords {
+				b.c.violation("machine %d uses %d words (cap %d)", id, w, b.c.cfg.MemWords)
+			}
+		}
+	}
+}

@@ -11,18 +11,31 @@
 //   - the total number of words communicated in each round.
 //
 // A machine is active in a round if it sends or receives at least one
-// message in that round, or if it was explicitly scheduled to run. Handlers
-// execute concurrently on a bounded worker pool with a barrier between
-// rounds; message delivery order is deterministic, so simulations are
+// message in that round, or if it was explicitly scheduled to run.
+// Message delivery order is deterministic, so simulations are
 // reproducible for a fixed seed regardless of GOMAXPROCS.
+//
+// # Execution backends
+//
+// The machine-step loop is pluggable behind the Backend interface,
+// selected by Config.Backend. BackendSim (the default) is the
+// deterministic single-driver loop: the driver orchestrates each round
+// and runs handlers on short-lived goroutines bounded by Config.Workers
+// — it is the correctness and accounting oracle. BackendParallel is the
+// goroutine-per-machine runtime: long-lived workers (machines sharded
+// over at most Config.Workers goroutines, default GOMAXPROCS) woken over
+// channels each round, lock-free per-sender outbox staging, and a
+// deterministic ascending-id merge at the round barrier. Both backends
+// produce bit-identical answers and Stats for the same inputs — the
+// parallel backend exists to measure real wall-clock time next to the
+// model's round counts, and clusters using it must be Close()d to
+// release the workers.
 package mpc
 
 import (
 	"fmt"
 	"math"
 	"runtime"
-	"sort"
-	"sync"
 )
 
 // Message is a single inter-machine message. Payload stays in process (the
@@ -70,8 +83,13 @@ type Config struct {
 	// over S, sends to out-of-range machines) fatal via panic. Violations
 	// are always counted in Stats regardless.
 	Strict bool
-	// Workers bounds handler concurrency; 0 means GOMAXPROCS.
+	// Workers bounds handler concurrency; 0 means GOMAXPROCS. For
+	// BackendParallel it caps the number of long-lived worker
+	// goroutines the machines are sharded over.
 	Workers int
+	// Backend selects the execution backend; the zero value is
+	// BackendSim, the deterministic single-driver oracle.
+	Backend BackendKind
 }
 
 // Auto returns the canonical DMPC configuration for an input of size n
@@ -433,14 +451,8 @@ func (s *Stats) MeanUpdate() (rounds, activePerRound, wordsPerRound float64) {
 type Cluster struct {
 	cfg      Config
 	machines []Machine
-	inboxes  [][]Message
-	sched    []bool
 	stats    Stats
-	workers  int
-
-	// per-round scratch, reused across rounds
-	outboxes  [][]Message
-	nextSched [][]int
+	backend  Backend
 }
 
 // NewCluster builds a cluster with the given configuration. Machines are
@@ -457,15 +469,18 @@ func NewCluster(cfg Config) *Cluster {
 		w = runtime.GOMAXPROCS(0)
 	}
 	c := &Cluster{
-		cfg:       cfg,
-		machines:  make([]Machine, cfg.Machines),
-		inboxes:   make([][]Message, cfg.Machines),
-		sched:     make([]bool, cfg.Machines),
-		workers:   w,
-		outboxes:  make([][]Message, cfg.Machines),
-		nextSched: make([][]int, cfg.Machines),
+		cfg:      cfg,
+		machines: make([]Machine, cfg.Machines),
 	}
 	c.stats.pairWords = make(map[[2]int]int)
+	switch cfg.Backend {
+	case BackendSim:
+		c.backend = newSimBackend(c, w)
+	case BackendParallel:
+		c.backend = newParallelBackend(c, w)
+	default:
+		panic(fmt.Sprintf("mpc: unknown backend %v", cfg.Backend))
+	}
 	return c
 }
 
@@ -493,18 +508,26 @@ func (c *Cluster) MachineAt(id int) Machine { return c.machines[id] }
 // Schedule marks machine id as active for the next round even if it
 // receives no messages. Used to bootstrap computation.
 func (c *Cluster) Schedule(id int) {
-	c.sched[id] = true
+	c.backend.Schedule(id)
 }
 
 // Send enqueues a message for delivery at the start of the next round. It is
 // intended for injecting external input (e.g. a graph update) into the
 // cluster; machines use Ctx.Send instead. From may be -1 for "external".
+// A destination outside the cluster is a model violation (counted, fatal
+// in strict mode) and the message is dropped; delivered words count
+// toward the pair-communication distribution CommEntropy reports on.
 func (c *Cluster) Send(msg Message) {
-	if msg.Words <= 0 {
-		msg.Words = 1
-	}
-	c.inboxes[msg.To] = append(c.inboxes[msg.To], msg)
+	c.backend.Deliver(msg)
 }
+
+// Backend returns the configured execution backend kind.
+func (c *Cluster) Backend() BackendKind { return c.cfg.Backend }
+
+// Close releases the backend's resources — the parallel backend's
+// long-lived worker goroutines. A closed cluster must not Round again;
+// Close is idempotent and a no-op for the sim backend.
+func (c *Cluster) Close() { c.backend.Close() }
 
 // BeginUpdate starts per-update accounting; every subsequent round is folded
 // into the update until EndUpdate. Update and query windows are mutually
@@ -706,102 +729,15 @@ func (c *Cluster) EndMixedWave() WaveStats {
 // Quiescent reports whether no machine has pending messages or scheduling,
 // i.e. whether another Round would be a no-op.
 func (c *Cluster) Quiescent() bool {
-	for i := range c.inboxes {
-		if len(c.inboxes[i]) > 0 || c.sched[i] {
-			return false
-		}
-	}
-	return true
+	return c.backend.Quiescent()
 }
 
-// Round executes one synchronous round: delivers all pending messages,
-// runs every active machine's handler concurrently, and stages the messages
-// they send for the next round. It returns the round's statistics.
+// Round executes one synchronous round through the configured backend:
+// delivers all pending messages, runs every active machine's handler,
+// stages the messages they send for the next round, and folds the round
+// into the open accounting windows. It returns the round's statistics.
 func (c *Cluster) Round() RoundStats {
-	// Determine active set.
-	active := make([]int, 0, 16)
-	for id := range c.machines {
-		if len(c.inboxes[id]) > 0 || c.sched[id] {
-			active = append(active, id)
-		}
-	}
-	var rs RoundStats
-	rs.Active = len(active)
-	for _, id := range active {
-		for _, m := range c.inboxes[id] {
-			rs.Words += m.Words
-			rs.Messages++
-		}
-	}
-
-	// Run handlers concurrently.
-	ctxs := make([]*Ctx, len(active))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, c.workers)
-	for i, id := range active {
-		ctx := &Ctx{cluster: c, self: id, round: c.stats.Rounds}
-		ctxs[i] = ctx
-		inbox := c.inboxes[id]
-		// Deterministic inbox order: by sender, then sequence.
-		sort.SliceStable(inbox, func(a, b int) bool {
-			if inbox[a].From != inbox[b].From {
-				return inbox[a].From < inbox[b].From
-			}
-			return inbox[a].seq < inbox[b].seq
-		})
-		m := c.machines[id]
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(m Machine, ctx *Ctx, inbox []Message) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			if m != nil {
-				m.HandleRound(ctx, inbox)
-			}
-		}(m, ctx, inbox)
-	}
-	wg.Wait()
-
-	// Clear consumed inboxes and schedules.
-	for _, id := range active {
-		c.inboxes[id] = nil
-		c.sched[id] = false
-	}
-
-	// Stage outgoing messages deterministically (by sender id) and apply
-	// next-round schedules; enforce per-machine I/O caps.
-	for i, id := range active {
-		ctx := ctxs[i]
-		sent := 0
-		for _, msg := range ctx.out {
-			sent += msg.Words
-			if msg.To < 0 || msg.To >= len(c.machines) {
-				c.violation("machine %d sent to invalid machine %d", id, msg.To)
-				continue
-			}
-			c.inboxes[msg.To] = append(c.inboxes[msg.To], msg)
-			c.stats.pairWords[[2]int{msg.From, msg.To}] += msg.Words
-		}
-		if sent > c.cfg.MemWords {
-			c.violation("machine %d sent %d words in one round (cap %d)", id, sent, c.cfg.MemWords)
-		}
-		for _, s := range ctx.schedule {
-			c.sched[s] = true
-		}
-	}
-
-	// Memory accounting / enforcement.
-	for _, id := range active {
-		if mr, ok := c.machines[id].(MemReporter); ok {
-			w := mr.MemWords()
-			if w > c.stats.PeakMemWords {
-				c.stats.PeakMemWords = w
-			}
-			if w > c.cfg.MemWords {
-				c.violation("machine %d uses %d words (cap %d)", id, w, c.cfg.MemWords)
-			}
-		}
-	}
+	rs := c.backend.Round()
 
 	c.stats.Rounds++
 	c.stats.Messages += rs.Messages

@@ -1,0 +1,168 @@
+package mpc
+
+import "runtime"
+
+// ParallelBackend is the goroutine-per-machine parallel runtime. Machines
+// are statically sharded over long-lived worker goroutines — one machine
+// per worker while µ fits under the worker cap, contiguous blocks above
+// it — and each round the driver wakes exactly the workers whose shards
+// hold active machines over per-worker channels. A worker runs its
+// machines' handlers against a contiguous per-round context slab: the
+// active set is ascending and shards are contiguous id blocks, so worker
+// si owns exactly the slab positions of its slice of the active set, and
+// outbox staging is lock-free per sender. The drained done channel is the
+// round barrier; after it the driver merges the staged messages in
+// ascending machine order — the same deterministic merge the SimBackend
+// oracle uses — so answers, stats and violation accounting are
+// bit-identical to BackendSim.
+//
+// Two fast paths keep serial stretches cheap: the driver executes shard 0
+// itself while the woken workers run, and a round whose active machines
+// all fall into one shard runs entirely inline on the driver with no
+// channel traffic at all. A cluster round therefore costs one slab
+// allocation plus at most one channel wake per involved worker, instead
+// of one goroutine spawn, one semaphore round-trip and one context
+// allocation per active machine — which is where the wall-clock headroom
+// over the sim backend comes from (see BenchmarkBackends).
+//
+// Close must be called to release the worker goroutines; the facade
+// structures forward their Close to it.
+type ParallelBackend struct {
+	backendBase
+	nshards int
+	work    []chan int // per-worker round signal, shards 1..nshards-1 (shard 0 is the driver's)
+	done    chan int   // round barrier: workers report their shard index
+
+	// Per-round state, written by the driver before the wakes and read by
+	// the workers (the channel send orders the accesses): the active set,
+	// one fresh context per active machine at the matching position, and
+	// each shard's [start, end) slice of both.
+	active []int
+	slab   []Ctx
+	lo, hi []int
+	closed bool
+}
+
+func newParallelBackend(c *Cluster, workers int) *ParallelBackend {
+	w := workers
+	if w > c.cfg.Machines {
+		w = c.cfg.Machines
+	}
+	if w < 1 {
+		w = 1
+	}
+	p := &ParallelBackend{
+		backendBase: newBackendBase(c),
+		nshards:     w,
+		done:        make(chan int, w),
+		lo:          make([]int, w),
+		hi:          make([]int, w),
+	}
+	p.work = make([]chan int, w)
+	for si := 1; si < w; si++ {
+		p.work[si] = make(chan int, 1)
+		go p.worker(si)
+	}
+	return p
+}
+
+// shardOf maps a machine id to its static worker shard (contiguous
+// blocks, so a worker's machines stay cache-adjacent).
+func (p *ParallelBackend) shardOf(id int) int {
+	return id * p.nshards / p.c.cfg.Machines
+}
+
+// worker is the long-lived loop of one shard: woken with a round number,
+// it executes its shard's active machines and reports to the barrier. It
+// exits when the work channel is closed.
+func (p *ParallelBackend) worker(si int) {
+	for round := range p.work[si] {
+		p.runShard(si, round)
+		p.done <- si
+	}
+}
+
+// runShard sorts the inboxes and runs the handlers of one shard's slice
+// of the active set. Each slab slot is written only here, by the single
+// goroutine executing this shard this round. The Gosched after every
+// handler mirrors the yield cadence the sim oracle gets for free from
+// its per-handler goroutines: without it this loop monopolizes its P for
+// the whole round, the concurrent GC mark worker starves, the mark phase
+// stretches, and every pointer write inside the stretched window pays
+// the full write-barrier flush (measured at >20% of round time on a
+// single-P box before the yields).
+func (p *ParallelBackend) runShard(si, round int) {
+	for i := p.lo[si]; i < p.hi[si]; i++ {
+		id := p.active[i]
+		ctx := &p.slab[i]
+		ctx.cluster, ctx.self, ctx.round = p.c, id, round
+		inbox := p.inboxes[id]
+		sortInbox(inbox)
+		if m := p.c.machines[id]; m != nil {
+			m.HandleRound(ctx, inbox)
+		}
+		runtime.Gosched()
+	}
+	runtime.Gosched()
+}
+
+// Round executes one synchronous round: wake the involved workers, run
+// the driver's own share, drain the barrier, then merge deterministically.
+func (p *ParallelBackend) Round() RoundStats {
+	if p.closed {
+		panic("mpc: Round on a closed cluster")
+	}
+	active, rs := p.beginRound()
+	round := p.c.stats.Rounds
+
+	// One contiguous context slab per round, positionally aligned with
+	// the ascending active set; it dies as a unit at the next round. A
+	// shard's slice of it is the maximal run of positions whose machine
+	// ids it owns.
+	p.active = active
+	p.slab = make([]Ctx, len(active))
+	for si := range p.lo {
+		p.lo[si], p.hi[si] = 0, 0
+	}
+	prev := -1
+	for i, id := range active {
+		si := p.shardOf(id)
+		if si != prev {
+			p.lo[si] = i
+			prev = si
+		}
+		p.hi[si] = i + 1
+	}
+
+	involved := 0
+	for si := 1; si < p.nshards; si++ {
+		if p.hi[si] > p.lo[si] {
+			p.work[si] <- round
+			involved++
+		}
+	}
+	p.runShard(0, round)
+	for ; involved > 0; involved-- {
+		<-p.done
+	}
+
+	slab := p.slab
+	p.settle(active, func(i, _ int) *Ctx { return &slab[i] })
+
+	// Drop the slab reference: settle copied the staged messages into the
+	// receiving inboxes, and a dangling reference here would pin every
+	// payload until the next round.
+	p.active, p.slab = nil, nil
+	return rs
+}
+
+// Close stops the worker goroutines. Idempotent; Round panics afterwards.
+func (p *ParallelBackend) Close() {
+	if p.closed {
+		return
+	}
+	p.closed = true
+	for si := 1; si < p.nshards; si++ {
+		close(p.work[si])
+	}
+}

@@ -1,0 +1,68 @@
+package mpc
+
+import "sync"
+
+// SimBackend is the deterministic single-driver simulator loop — the
+// correctness and accounting oracle. The driver goroutine orchestrates
+// every round: it computes the active set, sorts each inbox, runs the
+// handlers on short-lived goroutines bounded by the worker semaphore,
+// and stages the staged messages in ascending sender order. Handler
+// state is only ever touched by the machine's own handler, so results
+// are independent of the worker bound (pinned by the determinism tests).
+//
+// The per-round scratch — the worker semaphore and the active and
+// context slices — is hoisted into the backend and reused across rounds,
+// so a round's allocation bill is one Ctx per active machine plus
+// whatever the handlers themselves allocate (see BenchmarkRoundAllocs).
+type SimBackend struct {
+	backendBase
+	workers int
+	sem     chan struct{} // hoisted handler-concurrency semaphore
+	ctxs    []*Ctx        // hoisted per-round contexts, positional over the active set
+}
+
+func newSimBackend(c *Cluster, workers int) *SimBackend {
+	return &SimBackend{
+		backendBase: newBackendBase(c),
+		workers:     workers,
+		sem:         make(chan struct{}, workers),
+	}
+}
+
+// Round executes one synchronous round: delivers all pending messages,
+// runs every active machine's handler concurrently, and stages the
+// messages they send for the next round.
+func (s *SimBackend) Round() RoundStats {
+	active, rs := s.beginRound()
+
+	if cap(s.ctxs) < len(active) {
+		s.ctxs = make([]*Ctx, len(active))
+	}
+	s.ctxs = s.ctxs[:len(active)]
+
+	// Run handlers concurrently, bounded by the hoisted semaphore.
+	var wg sync.WaitGroup
+	for i, id := range active {
+		ctx := &Ctx{cluster: s.c, self: id, round: s.c.stats.Rounds}
+		s.ctxs[i] = ctx
+		inbox := s.inboxes[id]
+		sortInbox(inbox)
+		m := s.c.machines[id]
+		wg.Add(1)
+		s.sem <- struct{}{}
+		go func(m Machine, ctx *Ctx, inbox []Message) {
+			defer wg.Done()
+			defer func() { <-s.sem }()
+			if m != nil {
+				m.HandleRound(ctx, inbox)
+			}
+		}(m, ctx, inbox)
+	}
+	wg.Wait()
+
+	s.settle(active, func(i, _ int) *Ctx { return s.ctxs[i] })
+	return rs
+}
+
+// Close is a no-op: the sim backend holds no long-lived goroutines.
+func (s *SimBackend) Close() {}
