@@ -89,6 +89,9 @@ type AutoBatcher struct {
 	settled  int     // full batches applied since the knee settled
 	capBound bool    // settled by the word cap: never re-probe upward
 
+	tailInfeasible bool // tail bound violated at MinK: settled for good
+	tailViolations int  // probe windows whose p99 exceeded TargetP99Rounds
+
 	// accumulators of the in-progress probe window at the current k
 	winRounds, winUpdates, winBatches int
 	winSamples                        []chunkSample // per-chunk (rounds, units), for the tail bound
@@ -217,6 +220,18 @@ func (ab *AutoBatcher) clamp(k int) int {
 
 // K returns the chunk size the next batch will use.
 func (ab *AutoBatcher) K() int { return ab.k }
+
+// TailViolations counts the completed probe windows whose worst-case p99
+// rounds exceeded TargetP99Rounds. A nonzero count with a settled small k
+// means the bound actively shaped the search; see TailInfeasible for the
+// case where even MinK cannot meet it.
+func (ab *AutoBatcher) TailViolations() int { return ab.tailViolations }
+
+// TailInfeasible reports that a probe window violated TargetP99Rounds at
+// k = MinK: the bound is unachievable for this workload, and the search
+// has settled terminally at MinK (no re-probe will re-open it) rather
+// than looping halve/climb around a violation it cannot shed.
+func (ab *AutoBatcher) TailInfeasible() bool { return ab.tailInfeasible }
 
 // History returns the accounting of every batch applied so far, and Ks the
 // chunk size each of those batches was scheduled at. In mixed mode each
@@ -379,8 +394,12 @@ func (ab *AutoBatcher) adapt(rounds, units, maxWords int) {
 		return
 	}
 	if ab.dir == 0 {
-		if ab.reprobeEvery == 0 || ab.capBound {
-			return // settled for good: nothing left to measure
+		if ab.reprobeEvery == 0 || ab.capBound || ab.tailInfeasible {
+			// Settled for good: nothing left to measure. The tail-
+			// infeasible case matters here — re-opening the climb would
+			// double k off MinK, violate the bound again, and halve back,
+			// looping the violation every re-probe period on purpose.
+			return
 		}
 		ab.settled++
 		if ab.settled < ab.reprobeEvery {
@@ -416,11 +435,16 @@ func (ab *AutoBatcher) adapt(rounds, units, maxWords int) {
 		// said: halve k and make the new k a hard ceiling, so neither
 		// the climb nor a later re-probe returns above it. A best window
 		// measured beyond the ceiling described an infeasible k — drop
-		// it. At MinK there is nothing left to shed: settle (the bound
-		// is unachievable).
+		// it. At MinK there is nothing left to shed: settle terminally
+		// (the bound is unachievable — TailInfeasible reports it) rather
+		// than halving MaxK below MinK or letting a re-probe climb back
+		// into the violation.
+		ab.tailViolations++
 		if ab.k <= ab.minK {
+			ab.k = ab.minK
 			ab.bestK = ab.minK
 			ab.dir = 0
+			ab.tailInfeasible = true
 			return
 		}
 		ab.maxK = ab.clamp(ab.k / 2)

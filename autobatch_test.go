@@ -527,6 +527,55 @@ func TestAutoBatcherTargetP99Unachievable(t *testing.T) {
 	}
 }
 
+// TestAutoBatcherTailInfeasibleAtMinK pins the k=1 edge of the tail
+// bound: when every chunk costs more rounds than TargetP99Rounds even at
+// k=MinK=1, the search must settle terminally at 1 — MaxK must never
+// reach 0 (a k of 0 would buffer forever and flush nothing), and the
+// periodic re-probe must not re-open the climb into a violation loop.
+// The violations that shaped the search stay visible through
+// TailViolations/TailInfeasible instead of being swallowed.
+func TestAutoBatcherTailInfeasibleAtMinK(t *testing.T) {
+	f := &fakeApply{
+		cost:  func(k int) float64 { return 100 / float64(k) }, // 100 rounds per chunk at any k
+		words: func(int) int { return 10 },
+	}
+	ab := NewAutoBatcher(AutoBatcherConfig{
+		Apply: f.apply, StartK: 4, MinK: 1, MaxK: 64, ProbeBatches: 1, WarmupBatches: -1,
+		ReprobeEvery: 2, TargetP99Rounds: 40,
+	})
+	// 4 → 2 → 1 → infeasible: three violating windows, then settle.
+	for i := 0; i < 16; i++ {
+		ab.Push(Update{Op: Insert, U: i, V: i + 1})
+	}
+	if ab.K() != 1 {
+		t.Fatalf("unachievable bound settled at %d, want MinK 1 (trajectory %v)", ab.K(), ab.Ks())
+	}
+	if !ab.TailInfeasible() {
+		t.Fatalf("TailInfeasible() = false after violating at MinK (trajectory %v)", ab.Ks())
+	}
+	atSettle := ab.TailViolations()
+	if atSettle == 0 {
+		t.Fatal("TailViolations() = 0, want the violating windows reported")
+	}
+	// Many re-probe periods past the settle: every batch must run at k=1
+	// (each push flushes immediately — k never hit 0) and no new
+	// violations may accrue, i.e. the re-probe never re-opens the climb.
+	before := len(ab.Ks())
+	for i := 0; i < 40; i++ {
+		if _, applied := ab.Push(Update{Op: Insert, U: 1000 + i, V: 1001 + i}); !applied {
+			t.Fatalf("push %d after settling at k=1 did not flush a chunk", i)
+		}
+	}
+	for i, k := range ab.Ks()[before:] {
+		if k != 1 {
+			t.Fatalf("batch %d after terminal settle ran at k=%d, want 1", before+i, k)
+		}
+	}
+	if got := ab.TailViolations(); got != atSettle {
+		t.Fatalf("TailViolations grew %d -> %d after terminal settle: re-probe re-opened the violation loop", atSettle, got)
+	}
+}
+
 // TestAutoBatcherApplyChunk pins the externally-formed-chunk entry: full
 // chunks feed the knee search exactly like Push-cut chunks, non-full
 // chunks are recorded but never adapt, and the guards reject misuse.

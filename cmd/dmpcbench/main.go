@@ -816,6 +816,7 @@ type benchReport struct {
 
 	Arrivals    []arrivalRow     `json:"arrivals,omitempty"`
 	LatencyAuto []latencyAutoRow `json:"latency_autobatch,omitempty"`
+	Tenants     []tenantRow      `json:"tenants,omitempty"`
 
 	// Backend records the -backend flag the (non-wallclock) tables ran
 	// on; Wall is the sim-vs-parallel wall-clock trajectory, which always
@@ -962,6 +963,31 @@ func checkBaseline(rep benchReport, path string, tol float64) error {
 				l.Name, l.Gen, l.Target, l.BoundK, l.FreeK)
 		}
 	}
+	// Multi-tenant gates. The fair victim p99 may not drift past the
+	// snapshot, and two invariants hold outright: the fair run must keep
+	// the victim's read tail bounded near its solo baseline under the
+	// noisy tenant's flood, and tenant tags alone (no weights, no
+	// admission) must leave the stream bit-identical to the untagged run.
+	tenBase := make(map[string]int64, len(want.Tenants))
+	for _, tr := range want.Tenants {
+		tenBase[tr.Name] = tr.VictimFairP99
+	}
+	for _, tr := range rep.Tenants {
+		if wantP, ok := tenBase[tr.Name]; ok {
+			matched++
+			if float64(tr.VictimFairP99) > float64(wantP)*(1+tol) {
+				return fmt.Errorf("%s: fair victim p99 %d rounds regressed past snapshot %d by more than %.0f%% (%s)",
+					tr.Name, tr.VictimFairP99, wantP, tol*100, path)
+			}
+		}
+		if tr.VictimFairP99 > 2*tr.VictimSoloP99 {
+			return fmt.Errorf("%s: fair victim p99 %d rounds exceeds 2x its solo baseline %d — the noisy tenant broke isolation",
+				tr.Name, tr.VictimFairP99, tr.VictimSoloP99)
+		}
+		if !tr.ZeroTenantIdentical {
+			return fmt.Errorf("%s: tenant tags alone changed answers or accounting — the zero-tenant compatibility contract is broken", tr.Name)
+		}
+	}
 	// Wall-clock gates. Rounds/op is deterministic, so (a) it may not
 	// drift past the snapshot, and (b) within the run the two backends
 	// must agree on it exactly — a rounds-vs-time divergence means a
@@ -1008,7 +1034,7 @@ func checkBaseline(rep benchReport, path string, tol float64) error {
 		}
 	}
 	if matched == 0 {
-		return fmt.Errorf("%s: no batch, mixed, arrival or wallclock rows matched this run (was the snapshot generated with -batch/-mixed/-arrivals/-wallclock?)", path)
+		return fmt.Errorf("%s: no batch, mixed, arrival, tenant or wallclock rows matched this run (was the snapshot generated with -batch/-mixed/-arrivals/-tenants/-wallclock?)", path)
 	}
 	return nil
 }
@@ -1101,6 +1127,7 @@ func main() {
 	queries := flag.Int("queries", 0, "measure the mixed read/write workload with up to this many protocol queries per run")
 	doMixed := flag.Bool("mixed", false, "measure the unified op pipeline (in-wave reads) against the quiescence split at k in {8,64,256}")
 	doArrivals := flag.Bool("arrivals", false, "measure streaming ingestion latency (p50/p95/p99 rounds from arrival) at batch bounds k in {8,64,256} plus the tail-constrained AutoBatcher comparison")
+	doTenants := flag.Bool("tenants", false, "measure multi-tenant isolation: a read-mostly victim's p99 solo vs shared with a write-storm tenant, unweighted vs fair-wave packing plus token-bucket admission")
 	readfrac := flag.Float64("readfrac", 0.5, "target read fraction of the mixed workload")
 	backendFlag := flag.String("backend", "sim", "execution backend for the measurement tables: sim (deterministic oracle) or parallel (goroutine-per-machine runtime)")
 	workers := flag.Int("workers", 0, "backend worker bound (0 = GOMAXPROCS); never changes rounds, only wall-clock time")
@@ -1158,6 +1185,10 @@ func main() {
 		arrRows = arrivalTable(*n, *updates, *seed)
 		latRows = latencyAutoTable(*n, *updates, *seed)
 	}
+	var trows []tenantRow
+	if *doTenants {
+		trows = tenantTable(*n, *updates, *seed)
+	}
 	var wrows []wallRow
 	if *doWall {
 		wrows = wallTable(*updates, *seed, *wallMax)
@@ -1165,6 +1196,7 @@ func main() {
 	rep := buildReport(rows, brows, shrows, arows, qrows, mrows, srows, *n, *updates, *batch, queryUpdK, *readfrac, *seed)
 	rep.Arrivals = arrRows
 	rep.LatencyAuto = latRows
+	rep.Tenants = trows
 	rep.Backend = benchBackend.String()
 	rep.Wall = wrows
 	if *baseline != "" {
@@ -1197,6 +1229,9 @@ func main() {
 	}
 	if *doArrivals {
 		printArrivalTable(arrRows, latRows)
+	}
+	if *doTenants {
+		printTenantTable(trows)
 	}
 	if *doWall {
 		printWallTable(wrows)

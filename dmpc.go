@@ -58,6 +58,21 @@
 // to Apply on the full slice. See cmd/dmpcbench -arrivals and
 // BENCH_0006.json for the latency picture.
 //
+// # Multi-tenant streams
+//
+// Ops carry a tenant id (Op.Tenant, zero = the single-tenant default;
+// tag streams with TenantOps). WithTenantWeights turns wave packing
+// into deficit-round-robin fair sharing of the per-round word budget —
+// a flooding tenant can fill only its weighted share of each wave, and
+// unused share rolls forward — without ever reordering conflicting
+// ops, so answers stay bit-identical to the unweighted run.
+// IngestorConfig.Weights and IngestorConfig.Admission (AlwaysAdmit,
+// TokenBucket) shape the streaming front door the same way, with
+// refused ops surfaced as typed Rejections, and StreamStats/MixedStats
+// gain per-tenant breakdowns (TenantStreamStats, TenantStats). See
+// DESIGN.md §2c and cmd/dmpcbench -tenants (BENCH_0008.json) for the
+// noisy-neighbor isolation picture.
+//
 // The pre-redesign surface remains as thin deprecated wrappers delegating
 // to Apply: ApplyBatch is the write-only projection (a Batch shares one
 // BatchStats round-accounting window and non-conflicting updates
@@ -127,7 +142,22 @@ type (
 	// BackendKind selects the cluster's execution backend; see the
 	// BackendSim and BackendParallel constants and WithBackend.
 	BackendKind = mpc.BackendKind
+	// TenantStats is one tenant's slice of a mixed window: op counts and
+	// the tenant's wave-share of the window's rounds.
+	TenantStats = mpc.TenantStats
+	// TenantStreamStats is one tenant's slice of an ingested stream: op
+	// counts, admission rejections, rounds share, latency percentiles.
+	TenantStreamStats = mpc.TenantStreamStats
+	// Rejection is one op refused by a per-tenant admission policy — a
+	// typed record in StreamStats.Rejections, never a silent drop.
+	Rejection = mpc.Rejection
 )
+
+// TenantOps tags every op of a stream with a tenant id (returning a new
+// slice); Op.ForTenant tags a single op. The zero tenant is the
+// single-tenant default: untagged streams behave exactly as before
+// tenancy existed.
+func TenantOps(t int, ops []Op) []Op { return graph.TenantOps(t, ops) }
 
 // Execution backends (see internal/mpc and DESIGN.md §2d). Every backend
 // produces bit-identical answers and accounting for the same op history —
@@ -153,6 +183,7 @@ type Option func(*options)
 type options struct {
 	backend mpc.BackendKind
 	workers int
+	tenants map[int]int
 }
 
 func buildOptions(opts []Option) options {
@@ -171,6 +202,19 @@ func WithBackend(k BackendKind) Option { return func(o *options) { o.backend = k
 // WithWorkers bounds the backend's handler concurrency (0 = GOMAXPROCS).
 // Worker count never changes answers or accounting, only wall-clock time.
 func WithWorkers(n int) Option { return func(o *options) { o.workers = n } }
+
+// WithTenantWeights carves the per-round word budget S into weighted
+// deficit-round-robin tenant shares: wave packing meters each tenant's
+// summed shared-claim cost against its share (unused share rolls
+// forward, capped at one wave's budget) instead of packing first-fit,
+// so a noisy tenant's cascading updates cannot fill every wave while a
+// read-mostly tenant starves. Fairness never reorders conflicting ops —
+// it only reshapes which non-conflicting ops share a wave. Tenants
+// absent from the map weigh 1 against the same total; nil (the
+// default) keeps the single-tenant first-fit schedule bit-identically.
+// Pair with IngestorConfig.Weights/Admission to also shape the
+// streaming front door.
+func WithTenantWeights(w map[int]int) Option { return func(o *options) { o.tenants = w } }
 
 // Operation kinds for Update.Op and Op.Kind.
 const (
@@ -335,7 +379,7 @@ type Connectivity struct {
 // n vertices, sized for expectedEdges simultaneous edges (0 = default).
 func NewConnectivity(n, expectedEdges int, opts ...Option) *Connectivity {
 	o := buildOptions(opts)
-	d := dyncon.New(dyncon.Config{N: n, Mode: dyncon.CC, ExpectedEdges: expectedEdges, Backend: o.backend, Workers: o.workers})
+	d := dyncon.New(dyncon.Config{N: n, Mode: dyncon.CC, ExpectedEdges: expectedEdges, Backend: o.backend, Workers: o.workers, TenantWeights: o.tenants})
 	return &Connectivity{pipe: newPipe(d.ApplyOps, d.StreamItem, d.Cluster()), d: d}
 }
 
@@ -388,7 +432,7 @@ type MST struct {
 // NewMST builds a fully-dynamic MSF structure.
 func NewMST(n int, eps float64, expectedEdges int, opts ...Option) *MST {
 	o := buildOptions(opts)
-	d := dyncon.New(dyncon.Config{N: n, Mode: dyncon.MST, Eps: eps, ExpectedEdges: expectedEdges, Backend: o.backend, Workers: o.workers})
+	d := dyncon.New(dyncon.Config{N: n, Mode: dyncon.MST, Eps: eps, ExpectedEdges: expectedEdges, Backend: o.backend, Workers: o.workers, TenantWeights: o.tenants})
 	return &MST{pipe: newPipe(d.ApplyOps, d.StreamItem, d.Cluster()), d: d}
 }
 
@@ -481,7 +525,7 @@ type MaximalMatching struct {
 // capEdges simultaneous edges.
 func NewMaximalMatching(n, capEdges int, opts ...Option) *MaximalMatching {
 	o := buildOptions(opts)
-	m := dmm.New(dmm.Config{N: n, CapEdges: capEdges, Backend: o.backend, Workers: o.workers})
+	m := dmm.New(dmm.Config{N: n, CapEdges: capEdges, Backend: o.backend, Workers: o.workers, TenantWeights: o.tenants})
 	return &MaximalMatching{pipe: newPipe(m.ApplyOps, m.StreamItem, m.Cluster()), m: m}
 }
 
@@ -489,7 +533,7 @@ func NewMaximalMatching(n, capEdges int, opts ...Option) *MaximalMatching {
 // maximum matching (the graph must start empty, which it does).
 func NewThreeHalvesMatching(n, capEdges int, opts ...Option) *MaximalMatching {
 	o := buildOptions(opts)
-	m := dmm.New(dmm.Config{N: n, CapEdges: capEdges, ThreeHalves: true, Backend: o.backend, Workers: o.workers})
+	m := dmm.New(dmm.Config{N: n, CapEdges: capEdges, ThreeHalves: true, Backend: o.backend, Workers: o.workers, TenantWeights: o.tenants})
 	return &MaximalMatching{pipe: newPipe(m.ApplyOps, m.StreamItem, m.Cluster()), m: m}
 }
 
@@ -552,9 +596,9 @@ type AlmostMaximalMatching struct {
 // correctness.
 func ammStreamItem(op graph.Op) sched.Item {
 	if op.IsQuery() {
-		return sched.Item{Read: []int64{int64(op.U)}}
+		return sched.Item{Read: []int64{int64(op.U)}, Tenant: op.Tenant}
 	}
-	return sched.Item{Excl: []int64{int64(op.U), int64(op.V)}}
+	return sched.Item{Excl: []int64{int64(op.U), int64(op.V)}, Tenant: op.Tenant}
 }
 
 // NewAlmostMaximalMatching builds the §6 structure.

@@ -56,6 +56,71 @@ type IngestorConfig struct {
 	// exactly as partial Flush never adapts) — and must have been built
 	// in ApplyOps mode over this same Pipeline's Apply.
 	Auto *AutoBatcher
+	// Weights, when non-nil, makes the conflict admitter meter each
+	// tenant's summed shared-claim cost against a weighted deficit-
+	// round-robin share of the per-round word budget S (sched.Fair): a
+	// tenant that has spent its share cuts the window early instead of
+	// packing the whole forming set, so one noisy tenant cannot fill
+	// every wave. This shapes how the *forming set* groups; pair it with
+	// the structure-level WithTenantWeights option to also shape wave
+	// packing inside each flush window.
+	Weights map[int]int
+	// Admission maps tenant id -> admission policy, consulted before an
+	// arrival enters the forming set. Tenants absent from the map are
+	// always admitted. A rejected op is surfaced, never silently
+	// dropped: it is recorded in StreamStats.Rejections (and the
+	// tenant's Rejected count), and a rejected query additionally gets a
+	// positional Results entry with Rejected set so result indexing
+	// stays aligned. nil disables admission control.
+	Admission map[int]AdmissionPolicy
+}
+
+// AdmissionPolicy decides, per arrival, whether a tenant's op may enter
+// the forming set. now is the arrival's virtual-clock timestamp in
+// rounds. Policies are consulted in arrival order, so stateful
+// implementations (TokenBucket) need no locking.
+type AdmissionPolicy interface {
+	Admit(now int64) bool
+}
+
+// AlwaysAdmit admits every op — the explicit form of "no policy", for
+// mixing open tenants with throttled ones in one Admission map.
+type AlwaysAdmit struct{}
+
+// Admit always reports true.
+func (AlwaysAdmit) Admit(int64) bool { return true }
+
+// TokenBucket admits ops against a token bucket refilled on the
+// virtual clock: Rate tokens per round, holding at most Burst. Each
+// admitted op consumes one token; an op arriving with less than one
+// token available is rejected. The bucket starts full.
+type TokenBucket struct {
+	Rate  float64 // tokens added per virtual-clock round
+	Burst float64 // bucket capacity (initial fill)
+
+	tokens float64
+	last   int64
+	inited bool
+}
+
+// Admit refills the bucket for the rounds elapsed since the last
+// arrival and consumes one token if available.
+func (tb *TokenBucket) Admit(now int64) bool {
+	if !tb.inited {
+		tb.tokens = tb.Burst
+		tb.last = now
+		tb.inited = true
+	}
+	tb.tokens += float64(now-tb.last) * tb.Rate
+	if tb.tokens > tb.Burst {
+		tb.tokens = tb.Burst
+	}
+	tb.last = now
+	if tb.tokens >= 1 {
+		tb.tokens--
+		return true
+	}
+	return false
 }
 
 // Ingestor is the streaming front door over a Pipeline — the event loop
@@ -90,12 +155,24 @@ type Ingestor struct {
 	maxAge   int64
 
 	adm       *sched.Admitter
+	admission map[int]AdmissionPolicy
 	forming   []Op
 	formingAt []int64
+	formingQI []int // per forming op: global query index, -1 for updates
 
 	now    int64 // virtual clock: completion time of the last flush
 	lastAt int64 // latest arrival seen, for monotonicity + tail flush
 	closed bool
+
+	pushed int // arrivals seen, admitted and rejected alike
+	qseq   int // queries seen, admitted and rejected alike
+
+	// multiTenant gates whether the per-tenant breakdown is exposed:
+	// set by configuration (Weights/Admission) or the first nonzero
+	// tenant tag. Accounting is always accumulated in tstats so a tag
+	// arriving mid-stream still yields complete tenant-0 history.
+	multiTenant bool
+	tstats      map[int]*mpc.TenantStreamStats
 
 	res   Results
 	stats StreamStats
@@ -126,10 +203,13 @@ func NewIngestor(cfg IngestorConfig) *Ingestor {
 // tail flush).
 func newIngestor(p Pipeline, cfg IngestorConfig, admission bool) *Ingestor {
 	ing := &Ingestor{
-		p:        p,
-		maxBatch: cfg.MaxBatch,
-		maxAge:   cfg.MaxAge,
-		auto:     cfg.Auto,
+		p:           p,
+		maxBatch:    cfg.MaxBatch,
+		maxAge:      cfg.MaxAge,
+		auto:        cfg.Auto,
+		admission:   cfg.Admission,
+		multiTenant: len(cfg.Weights) > 0 || cfg.Admission != nil,
+		tstats:      make(map[int]*mpc.TenantStreamStats),
 	}
 	if rp, ok := p.(interface {
 		rawApply([]Op) (Results, MixedStats)
@@ -142,7 +222,11 @@ func newIngestor(p Pipeline, cfg IngestorConfig, admission bool) *Ingestor {
 	if cl := p.Cluster(); cl != nil {
 		budget = cl.MemWords()
 	}
-	ing.adm = sched.NewAdmitter(budget)
+	if len(cfg.Weights) > 0 {
+		ing.adm = sched.NewAdmitterFair(budget, sched.NewFair(budget, cfg.Weights))
+	} else {
+		ing.adm = sched.NewAdmitter(budget)
+	}
 	if admission {
 		if cp, ok := p.(interface {
 			streamClaims() func(graph.Op) sched.Item
@@ -170,8 +254,17 @@ func (ing *Ingestor) Now() int64 { return ing.now }
 func (ing *Ingestor) Pending() int { return len(ing.forming) }
 
 // Stats returns a snapshot of the stream accounting so far; latencies of
-// ops still forming appear only after the flush that answers them.
-func (ing *Ingestor) Stats() StreamStats { return ing.stats }
+// ops still forming appear only after the flush that answers them. The
+// per-tenant breakdown appears only on multi-tenant streams (a nonzero
+// tenant tag seen, or Weights/Admission configured) — single-tenant
+// accounting is bit-identical to pre-tenancy behavior.
+func (ing *Ingestor) Stats() StreamStats {
+	st := ing.stats
+	if ing.multiTenant {
+		st.Tenants = ing.tstats
+	}
+	return st
+}
 
 // Push feeds one arrival into the event loop. Arrivals must be pushed in
 // time order (use Ingest, which consumes a heap, when the source does
@@ -184,28 +277,84 @@ func (ing *Ingestor) Push(a Arrival) {
 		panic(fmt.Sprintf("dmpc: Ingestor arrivals out of order (%d after %d)", a.At, ing.lastAt))
 	}
 	ing.lastAt = a.At
+	if a.Op.Tenant != 0 {
+		ing.multiTenant = true
+	}
 	// Age bound: the oldest forming op must not wait past MaxAge, so the
-	// set flushed at that deadline, before this arrival's time.
+	// set flushed at that deadline, before this arrival's time. The
+	// comparison is inclusive: an op whose age is *exactly* MaxAge at
+	// this event triggers the flush, at the deadline itself (pinned by
+	// TestIngestorMaxAgeBoundary).
 	if len(ing.forming) > 0 && ing.maxAge > 0 && a.At >= ing.formingAt[0]+ing.maxAge {
 		ing.flushAt(ing.formingAt[0]+ing.maxAge, flushAge)
+	}
+	// Per-tenant admission: policy-rejected ops never reach the forming
+	// set, but they are surfaced — a typed Rejections record, and for
+	// queries a positional Results entry with Rejected set (the age
+	// flush above still ran: a rejected arrival is an event on the
+	// virtual clock like any other).
+	if pol := ing.admission[a.Op.Tenant]; pol != nil && !pol.Admit(a.At) {
+		ing.stats.Rejected++
+		ing.stats.Rejections = append(ing.stats.Rejections, mpc.Rejection{
+			Index: ing.pushed, Tenant: a.Op.Tenant, At: a.At, Query: a.Op.IsQuery(),
+		})
+		ing.tstat(a.Op.Tenant).Rejected++
+		if a.Op.IsQuery() {
+			ing.place(ing.qseq, Answer{Rejected: true})
+			ing.qseq++
+		}
+		ing.pushed++
+		return
 	}
 	// Conflict admission: an op whose claims collide with the forming
 	// set would serialize behind it inside one window anyway, so cut the
 	// window now — the set's ops answer sooner and the newcomer starts a
 	// fresh set. Claims are read against the post-last-flush quiescent
 	// state (the FirstWave convention), so they are recomputed after a
-	// conflict flush moves that state.
+	// conflict flush moves that state. With Weights configured the
+	// admitter additionally meters each tenant's claim cost against its
+	// deficit-round-robin share, so a share-exhausted tenant cuts the
+	// window exactly like a conflicting one.
 	if ing.claims != nil {
 		if !ing.adm.Admit(ing.claims(a.Op)) {
 			ing.flushAt(a.At, flushConflict)
 			ing.adm.Admit(ing.claims(a.Op)) // fresh set: always admits
 		}
 	}
+	qi := -1
+	if a.Op.IsQuery() {
+		qi = ing.qseq
+		ing.qseq++
+	}
+	ing.pushed++
 	ing.forming = append(ing.forming, a.Op)
 	ing.formingAt = append(ing.formingAt, a.At)
+	ing.formingQI = append(ing.formingQI, qi)
 	if k := ing.k(); k > 0 && len(ing.forming) >= k {
 		ing.flushAt(a.At, flushFull)
 	}
+}
+
+// tstat returns (creating on demand) the tenant's accumulator.
+func (ing *Ingestor) tstat(t int) *mpc.TenantStreamStats {
+	ts := ing.tstats[t]
+	if ts == nil {
+		ts = &mpc.TenantStreamStats{}
+		ing.tstats[t] = ts
+	}
+	return ts
+}
+
+// place writes a query answer at its global query index, growing the
+// result slice as needed: rejected queries answer immediately while
+// earlier admitted queries are still forming, so answers do not always
+// land in index order even though they are all *assigned* in arrival
+// order.
+func (ing *Ingestor) place(qi int, a Answer) {
+	for len(ing.res) <= qi {
+		ing.res = append(ing.res, Answer{})
+	}
+	ing.res[qi] = a
 }
 
 // Ingest drains a whole arrival schedule through Push in time order (a
@@ -226,6 +375,9 @@ func (ing *Ingestor) Close() (Results, StreamStats) {
 	if !ing.closed {
 		ing.flushAt(ing.lastAt, flushTail)
 		ing.stats.Makespan = ing.now
+		if ing.multiTenant {
+			ing.stats.Tenants = ing.tstats
+		}
 		ing.closed = true
 	}
 	return ing.res, ing.stats
@@ -251,8 +403,33 @@ func (ing *Ingestor) flushAt(trigger int64, reason int) {
 	}
 	end := start + int64(st.Rounds())
 	ing.now = end
-	for _, at := range ing.formingAt {
-		ing.stats.Latencies = append(ing.stats.Latencies, end-at)
+	for x, at := range ing.formingAt {
+		lat := end - at
+		ing.stats.Latencies = append(ing.stats.Latencies, lat)
+		ts := ing.tstat(ing.forming[x].Tenant)
+		ts.Ops++
+		if ing.forming[x].IsQuery() {
+			ts.Queries++
+		} else {
+			ts.Updates++
+		}
+		ts.Latencies = append(ts.Latencies, lat)
+	}
+	// Tenant rounds: prefer the window's own wave-share attribution;
+	// windows without one (a pipeline whose core does no tenant census)
+	// fall back to splitting the window total over the chunk's op counts.
+	if st.Tenants != nil {
+		for t, tc := range st.Tenants {
+			ing.tstat(t).Rounds += tc.Rounds
+		}
+	} else if len(ing.forming) > 0 {
+		counts := make(map[int]int, 2)
+		for _, op := range ing.forming {
+			counts[op.Tenant]++
+		}
+		for t, c := range counts {
+			ing.tstat(t).Rounds += float64(st.Rounds()) * float64(c) / float64(len(ing.forming))
+		}
 	}
 	ing.stats.Ops += st.Ops
 	ing.stats.Updates += st.Updates.Updates
@@ -270,9 +447,16 @@ func (ing *Ingestor) flushAt(trigger int64, reason int) {
 		ing.stats.FlushTail++
 	}
 	ing.stats.Windows = append(ing.stats.Windows, st)
-	ing.res = append(ing.res, res...)
+	j := 0
+	for x := range ing.forming {
+		if qi := ing.formingQI[x]; qi >= 0 {
+			ing.place(qi, res[j])
+			j++
+		}
+	}
 	ing.forming = ing.forming[:0]
 	ing.formingAt = ing.formingAt[:0]
+	ing.formingQI = ing.formingQI[:0]
 	ing.adm.Reset()
 }
 

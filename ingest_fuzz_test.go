@@ -27,6 +27,9 @@ func FuzzArrivalEquivalenceConn(f *testing.F) {
 	f.Add(byte(0x92), []byte("0123ABCD4567EFGH89abIJKL")) // MST, k=3, age 8
 	f.Add(byte(0x21), []byte("aXYZaYZWbZWXbWXYcXZWfXYZgZWX"))
 	f.Add(byte(0x7f), []byte("??????!!!!!!......______"))
+	// MaxAge boundary: age 8 with an arrival at exactly t=8 — the
+	// inclusive flushAge edge pinned by TestIngestorMaxAgeBoundary.
+	f.Add(byte(0x12), []byte{2, 1, 2, 0, 2, 3, 4, 8, 0, 5, 6, 0, 2, 7, 8, 5})
 	f.Fuzz(func(t *testing.T, sel byte, data []byte) {
 		const n = 24
 		if len(data) > 480 { // 120 arrivals keeps one iteration fast

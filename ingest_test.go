@@ -101,6 +101,42 @@ func TestIngestorAgeBound(t *testing.T) {
 	}
 }
 
+// TestIngestorMaxAgeBoundary pins the inclusive edge of the age bound:
+// an arrival at exactly formingAt[0]+MaxAge triggers flushAge (age ==
+// MaxAge is stale, not fresh), and the flush starts at that deadline.
+// One tick earlier the forming set must still be intact. The ops are
+// non-conflicting reads so nothing but the age bound can cut the stream.
+func TestIngestorMaxAgeBoundary(t *testing.T) {
+	cc := NewConnectivity(16, 64)
+	ing := NewIngestor(IngestorConfig{Pipeline: cc, MaxAge: 8})
+	ing.Push(Arrival{At: 0, Op: QConnected(0, 1)})
+	// Age 7 < MaxAge: joins the forming set, no flush.
+	ing.Push(Arrival{At: 7, Op: QConnected(2, 3)})
+	if st := ing.Stats(); st.Flushes != 0 {
+		t.Fatalf("arrival at age MaxAge-1 flushed (%d flushes), want the set still forming", st.Flushes)
+	}
+	// Age exactly 8 == MaxAge: the boundary arrival must trigger flushAge
+	// before it joins a fresh forming set.
+	ing.Push(Arrival{At: 8, Op: QConnected(4, 5)})
+	st := ing.Stats()
+	if st.Flushes != 1 || st.FlushAge != 1 {
+		t.Fatalf("flushes (total %d, age %d) after boundary arrival, want (1, 1)", st.Flushes, st.FlushAge)
+	}
+	// The aged flush runs at the deadline t=8, so the oldest op's latency
+	// is exactly MaxAge plus the window's rounds.
+	r0 := int64(st.Windows[0].Rounds())
+	if st.Latencies[0] != 8+r0 {
+		t.Fatalf("boundary-aged op latency %d, want %d (deadline 8 + %d rounds)", st.Latencies[0], 8+r0, r0)
+	}
+	res, st := ing.Close()
+	if st.Flushes != 2 || st.FlushTail != 1 {
+		t.Fatalf("flushes (total %d, tail %d) after close, want (2, 1)", st.Flushes, st.FlushTail)
+	}
+	if len(res) != 3 {
+		t.Fatalf("%d answers, want 3", len(res))
+	}
+}
+
 // TestIngestorBatchBound pins the k flush: the forming set never exceeds
 // MaxBatch ops (reads of disjoint vertices never conflict, so only the
 // size bound cuts this stream).

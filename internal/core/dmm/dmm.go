@@ -66,6 +66,11 @@ type Config struct {
 	// Workers bounds its handler concurrency (0 = GOMAXPROCS).
 	Backend mpc.BackendKind
 	Workers int
+	// TenantWeights, when non-nil, carves the per-round word budget S
+	// into weighted deficit-round-robin tenant shares (sched.Fair) for
+	// wave packing. nil keeps the pre-tenancy first-fit schedule
+	// bit-identically.
+	TenantWeights map[int]int
 }
 
 // M is the §3 dynamic maximal matching structure.
@@ -75,6 +80,7 @@ type M struct {
 	coord   *coordinator
 	stats   []*statsMachine
 	storage []*storeMachine
+	fair    *sched.Fair // tenant fairness policy; nil = first-fit
 	seq     int64
 	queryID int64
 
@@ -117,6 +123,9 @@ func New(cfg Config) *M {
 
 	cl := mpc.NewCluster(mpc.Config{Machines: mu, MemWords: mem, Backend: cfg.Backend, Workers: cfg.Workers})
 	m := &M{cfg: cfg}
+	if len(cfg.TenantWeights) > 0 {
+		m.fair = sched.NewFair(mem, cfg.TenantWeights)
+	}
 	m.cluster = cl
 	m.coord = newCoordinator(cfg, mu, numStats, statsPer, mem, heavyAt, aliveCap)
 	cl.SetMachine(0, m.coord)
@@ -202,6 +211,19 @@ func (m *M) update(up graph.Update) mpc.UpdateStats {
 func (m *M) ApplyOps(ops []graph.Op) (graph.Results, mpc.MixedStats) {
 	nu, nq := graph.CountOps(ops)
 	m.cluster.BeginMixed(nu, nq)
+	// Per-tenant accounting engages only for multi-tenant streams (a
+	// nonzero tenant tag or a configured fairness policy); single-tenant
+	// windows stay census-free and bit-identical.
+	mt := m.fair != nil
+	for _, op := range ops {
+		if op.Tenant != 0 {
+			mt = true
+			break
+		}
+	}
+	if mt {
+		m.cluster.BeginMixedTenants(tenantCensus(ops, nil))
+	}
 	// Updates draw sequence numbers by stream position, queries draw from
 	// the separate queryID counter — exactly the ids sequential replay
 	// would hand out.
@@ -229,13 +251,17 @@ func (m *M) ApplyOps(ops []graph.Op) (graph.Results, mpc.MixedStats) {
 		for j, b := range pending {
 			items[j] = item(b, meanSuffix)
 		}
-		wave := sched.FirstWave(items[:len(pending)], budget)
+		// The executed wave packs fairly (tenant deficits metered); the
+		// serial head-run segmentation below keeps using plain FirstWave —
+		// it is a width heuristic over hypothetical futures, and letting it
+		// consume deficit top-ups would starve the real waves.
+		wave := sched.FirstWaveFair(items[:len(pending)], budget, m.fair)
 		if len(wave) > 1 || ops[pending[wave[0]]].IsQuery() {
 			idx := make([]int, len(wave))
 			for x, j := range wave {
 				idx[x] = pending[j]
 			}
-			m.runOpWave(ops, ids, idx)
+			m.runOpWave(ops, ids, idx, mt)
 			kept := pending[:0]
 			x := 0
 			for j, b := range pending {
@@ -304,7 +330,7 @@ func (m *M) ApplyBatch(batch graph.Batch) mpc.BatchStats {
 // MateOfBatch scatter), charged to the query half. The test-only wavePerm
 // hook permutes the injection order, backing the permutation-
 // commutativity property test.
-func (m *M) runOpWave(ops []graph.Op, ids []int64, wave []int) {
+func (m *M) runOpWave(ops []graph.Op, ids []int64, wave []int, mt bool) {
 	order := wave
 	if m.wavePerm != nil {
 		order = append([]int(nil), wave...)
@@ -318,7 +344,11 @@ func (m *M) runOpWave(ops []graph.Op, ids []int64, wave []int) {
 			nu++
 		}
 	}
-	m.cluster.BeginMixedWave(nu, nq)
+	if mt {
+		m.cluster.BeginMixedWaveTenants(nu, nq, tenantCensus(ops, wave))
+	} else {
+		m.cluster.BeginMixedWave(nu, nq)
+	}
 	for _, i := range order {
 		op := ops[i]
 		if op.IsQuery() {
@@ -433,8 +463,15 @@ func (m *M) StreamItem(op graph.Op) sched.Item {
 	return m.itemFor(op, m.coord.meanStoreSuffix())
 }
 
-// itemFor is the shared per-op core of opItem and StreamItem.
+// itemFor is the shared per-op core of opItem and StreamItem; every
+// item carries the op's tenant tag for the optional fairness policy.
 func (m *M) itemFor(op graph.Op, meanSuffix int) sched.Item {
+	it := m.rawItemFor(op, meanSuffix)
+	it.Tenant = op.Tenant
+	return it
+}
+
+func (m *M) rawItemFor(op graph.Op, meanSuffix int) sched.Item {
 	c := m.coord
 	const transitionKey = int64(-1) // vertex ids are >= 0
 	if op.IsQuery() {
@@ -497,6 +534,22 @@ func (m *M) itemFor(op graph.Op, meanSuffix int) sched.Item {
 		sched.Claim{Key: int64(c.statsOf(v)), Cost: 32},
 	)
 	return sched.Item{Excl: excl, Shared: shared}
+}
+
+// tenantCensus counts the (sub)stream's ops per tenant: over all ops
+// when idx is nil, else over the stream indices in idx.
+func tenantCensus(ops []graph.Op, idx []int) []mpc.TenantCount {
+	n := len(ops)
+	if idx != nil {
+		n = len(idx)
+	}
+	return mpc.TenantCensus(n, func(i int) (int, bool) {
+		op := ops[i]
+		if idx != nil {
+			op = ops[idx[i]]
+		}
+		return op.Tenant, op.IsQuery()
+	})
 }
 
 // transitionPredicted reports whether the update will cross v's heavy

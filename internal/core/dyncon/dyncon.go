@@ -77,6 +77,12 @@ type Config struct {
 	// bounds its handler concurrency (0 = GOMAXPROCS).
 	Backend mpc.BackendKind
 	Workers int
+	// TenantWeights, when non-nil, carves the per-round word budget S
+	// into weighted deficit-round-robin tenant shares (sched.Fair):
+	// wave packing meters each tenant's summed shared cost against its
+	// share instead of packing first-fit. nil keeps the pre-tenancy
+	// first-fit schedule bit-identically.
+	TenantWeights map[int]int
 }
 
 // D is a fully-dynamic connectivity/MST structure over a simulated DMPC
@@ -85,7 +91,8 @@ type D struct {
 	cfg     Config
 	cluster *mpc.Cluster
 	shards  []*shard
-	seq     int64 // update sequence number, for fresh component ids
+	fair    *sched.Fair // tenant fairness policy; nil = first-fit
+	seq     int64       // update sequence number, for fresh component ids
 	queryID int64
 
 	// wavePerm, when set by a test, permutes the injection order of every
@@ -120,6 +127,9 @@ func New(cfg Config) *D {
 	auto.Backend = cfg.Backend
 	auto.Workers = cfg.Workers
 	d := &D{cfg: cfg}
+	if len(cfg.TenantWeights) > 0 {
+		d.fair = sched.NewFair(auto.MemWords, cfg.TenantWeights)
+	}
 	d.cluster = mpc.NewCluster(auto)
 	d.shards = make([]*shard, auto.Machines)
 	for i := range d.shards {
@@ -231,6 +241,19 @@ func (d *D) inject(up graph.Update, seq int64) {
 func (d *D) ApplyOps(ops []graph.Op) (graph.Results, mpc.MixedStats) {
 	nu, nq := graph.CountOps(ops)
 	d.cluster.BeginMixed(nu, nq)
+	// Per-tenant accounting engages only when the stream is actually
+	// multi-tenant (a nonzero tenant tag or a configured fairness
+	// policy); single-tenant windows stay census-free and bit-identical.
+	mt := d.fair != nil
+	for _, op := range ops {
+		if op.Tenant != 0 {
+			mt = true
+			break
+		}
+	}
+	if mt {
+		d.cluster.BeginMixedTenants(tenantCensus(ops, nil))
+	}
 	// Sequence numbers are assigned by *stream position*, not injection
 	// order: fresh component ids minted by cuts are derived from the seq
 	// (N + 2·seq), so position-based seqs make the labels of a reordered
@@ -246,9 +269,9 @@ func (d *D) ApplyOps(ops []graph.Op) (graph.Results, mpc.MixedStats) {
 			ids[i] = d.seq
 		}
 	}
-	sched.Drive(len(ops), func(i int) sched.Item { return d.StreamItem(ops[i]) },
-		d.cluster.MemWords(), func(wave []int) {
-			d.runOpWave(ops, ids, wave)
+	sched.DriveFair(len(ops), func(i int) sched.Item { return d.StreamItem(ops[i]) },
+		d.cluster.MemWords(), d.fair, func(wave []int) {
+			d.runOpWave(ops, ids, wave, mt)
 		})
 	st := d.cluster.EndMixed()
 	res := make(graph.Results, 0, nq)
@@ -291,11 +314,13 @@ func (d *D) StreamItem(op graph.Op) sched.Item {
 		return sched.Item{
 			Read:   []int64{d.CompOf(op.U), d.CompOf(op.V)},
 			Shared: []sched.Claim{{Key: int64(d.owner(op.U)), Cost: 8}},
+			Tenant: op.Tenant,
 		}
 	case graph.OpComponentOf:
 		return sched.Item{
 			Read:   []int64{d.CompOf(op.U)},
 			Shared: []sched.Claim{{Key: int64(d.owner(op.U)), Cost: 4}},
+			Tenant: op.Tenant,
 		}
 	case graph.OpMateOf, graph.OpMatched:
 		panic(fmt.Sprintf("dyncon: unsupported query kind %v (connectivity answers OpConnected and OpComponentOf)", op.Kind))
@@ -311,14 +336,31 @@ func (d *D) StreamItem(op graph.Op) sched.Item {
 	return sched.Item{
 		Excl:   []int64{d.CompOf(up.U), d.CompOf(up.V)},
 		Shared: []sched.Claim{{Key: int64(d.owner(up.U)), Cost: cost}},
+		Tenant: op.Tenant,
 	}
+}
+
+// tenantCensus counts the (sub)stream's ops per tenant: over all ops
+// when idx is nil, else over the stream indices in idx.
+func tenantCensus(ops []graph.Op, idx []int) []mpc.TenantCount {
+	n := len(ops)
+	if idx != nil {
+		n = len(idx)
+	}
+	return mpc.TenantCensus(n, func(i int) (int, bool) {
+		op := ops[i]
+		if idx != nil {
+			op = ops[idx[i]]
+		}
+		return op.Tenant, op.IsQuery()
+	})
 }
 
 // runOpWave injects the scheduled wave (stream indices: updates and
 // queries alike) concurrently and drives the cluster to quiescence inside
 // a per-wave attribution window. The test-only wavePerm hook permutes the
 // injection order, backing the permutation-commutativity property test.
-func (d *D) runOpWave(ops []graph.Op, ids []int64, wave []int) {
+func (d *D) runOpWave(ops []graph.Op, ids []int64, wave []int, mt bool) {
 	order := wave
 	if d.wavePerm != nil {
 		order = append([]int(nil), wave...)
@@ -332,7 +374,11 @@ func (d *D) runOpWave(ops []graph.Op, ids []int64, wave []int) {
 			nu++
 		}
 	}
-	d.cluster.BeginMixedWave(nu, nq)
+	if mt {
+		d.cluster.BeginMixedWaveTenants(nu, nq, tenantCensus(ops, wave))
+	} else {
+		d.cluster.BeginMixedWave(nu, nq)
+	}
 	for _, i := range order {
 		op := ops[i]
 		switch op.Kind {

@@ -37,6 +37,54 @@ func TestArrivalHeapOrder(t *testing.T) {
 	}
 }
 
+// TestArrivalHeapTieStability is the property test behind the
+// position-stable rule: for random schedules dense with tied
+// timestamps — including interleaved pops and re-pushes — the pop
+// order must equal a stable sort of the pushes by At, i.e. equal-At
+// arrivals always pop in push order.
+func TestArrivalHeapTieStability(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(64)
+		// Draw timestamps from a tiny universe so most arrivals tie; encode
+		// the push index in the op so stability is observable.
+		h := NewArrivalHeap(nil)
+		type rec struct {
+			at  int64
+			idx int
+		}
+		var live []rec // oracle: every pushed-not-yet-popped arrival
+		pushes, pops := 0, 0
+		for pushes < n || h.Len() > 0 {
+			if pushes < n && (h.Len() == 0 || rng.Intn(3) > 0) {
+				a := Arrival{At: int64(rng.Intn(4)), Op: OpIns(pushes, pushes+1, 1)}
+				h.Push(a)
+				live = append(live, rec{a.At, pushes})
+				pushes++
+				continue
+			}
+			// The pop must be the earliest-At, earliest-pushed live arrival:
+			// ties break by insertion order, not by heap-internal layout.
+			a := h.Pop()
+			min := 0
+			for j := 1; j < len(live); j++ {
+				if live[j].at < live[min].at || (live[j].at == live[min].at && live[j].idx < live[min].idx) {
+					min = j
+				}
+			}
+			if got := (rec{a.At, a.Op.U}); got != live[min] {
+				t.Fatalf("trial %d pop %d: got {at=%d idx=%d}, oracle wants {at=%d idx=%d}",
+					trial, pops, got.at, got.idx, live[min].at, live[min].idx)
+			}
+			live = append(live[:min], live[min+1:]...)
+			pops++
+		}
+		if pops != n {
+			t.Fatalf("popped %d of %d arrivals", pops, n)
+		}
+	}
+}
+
 // TestArrivalGenerators pins the three schedule shapes: all-zero,
 // non-decreasing Poisson, and the bursty within/between pattern.
 func TestArrivalGenerators(t *testing.T) {

@@ -50,10 +50,15 @@ func (k OpKind) String() string {
 // Op is one operation of a unified op stream: an edge insertion, an edge
 // deletion, or a typed read. Single-vertex queries (OpComponentOf,
 // OpMateOf) use U and leave V zero.
+// Tenant tags the op with the logical stream it belongs to; the zero
+// tenant is the single-tenant default and behaves exactly as before
+// tenancy existed, so untagged streams (and every committed fuzz
+// corpus) are unchanged.
 type Op struct {
-	Kind OpKind
-	U, V int
-	W    Weight
+	Kind   OpKind
+	U, V   int
+	W      Weight
+	Tenant int
 }
 
 // IsQuery reports whether the op is a read.
@@ -73,13 +78,36 @@ func (o Op) Update() Update {
 }
 
 func (o Op) String() string {
+	s := ""
 	switch o.Kind {
 	case OpInsert:
-		return fmt.Sprintf("insert(%d,%d,w=%d)", o.U, o.V, o.W)
+		s = fmt.Sprintf("insert(%d,%d,w=%d)", o.U, o.V, o.W)
 	case OpComponentOf, OpMateOf:
-		return fmt.Sprintf("%s(%d)", o.Kind, o.U)
+		s = fmt.Sprintf("%s(%d)", o.Kind, o.U)
+	default:
+		s = fmt.Sprintf("%s(%d,%d)", o.Kind, o.U, o.V)
 	}
-	return fmt.Sprintf("%s(%d,%d)", o.Kind, o.U, o.V)
+	if o.Tenant != 0 {
+		s += fmt.Sprintf("@t%d", o.Tenant)
+	}
+	return s
+}
+
+// ForTenant returns a copy of the op tagged with the tenant id.
+func (o Op) ForTenant(t int) Op {
+	o.Tenant = t
+	return o
+}
+
+// TenantOps tags every op of a stream with the tenant id, returning a
+// new slice; the input is not modified.
+func TenantOps(t int, ops []Op) []Op {
+	out := make([]Op, len(ops))
+	for i, o := range ops {
+		o.Tenant = t
+		out[i] = o
+	}
+	return out
 }
 
 // Op constructors, one per kind.
@@ -122,9 +150,14 @@ func UpdateOps(b Batch) []Op {
 // Answer is one query's result; which field is meaningful depends on the
 // query kind: Bool answers OpConnected and OpMatched, Int answers
 // OpComponentOf (the component label) and OpMateOf (the mate, -1 = free).
+// Rejected marks a query refused by a per-tenant admission policy before
+// it ran: Bool and Int are meaningless and the query observed no state —
+// the entry exists so Results stays positionally aligned with the query
+// stream instead of silently dropping the op.
 type Answer struct {
-	Bool bool
-	Int  int64
+	Bool     bool
+	Int      int64
+	Rejected bool
 }
 
 // Results holds one Answer per query op of a stream, in stream order:

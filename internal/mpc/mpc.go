@@ -265,6 +265,12 @@ type MixedStats struct {
 	Updates BatchStats  // update half; its Waves hold the update-bearing waves
 	Queries QueryStats  // query half: the query-only waves
 	Waves   []WaveStats // every wave of the window, in execution order
+
+	// Tenants breaks the window down per tenant (see TenantStats); nil
+	// unless the window was opened with a tenant census
+	// (BeginMixedTenants), so single-tenant accounting is bit-identical
+	// to pre-tenancy behavior, golden JSON included.
+	Tenants map[int]TenantStats `json:",omitempty"`
 }
 
 // Rounds returns the whole window's round count (both halves).
@@ -283,11 +289,16 @@ func (m MixedStats) RoundsPerOp() float64 {
 // Equal reports deep equality, including the per-wave attribution.
 func (m MixedStats) Equal(o MixedStats) bool {
 	if m.Ops != o.Ops || !m.Updates.Equal(o.Updates) || m.Queries != o.Queries ||
-		len(m.Waves) != len(o.Waves) {
+		len(m.Waves) != len(o.Waves) || len(m.Tenants) != len(o.Tenants) {
 		return false
 	}
 	for i := range m.Waves {
 		if m.Waves[i] != o.Waves[i] {
+			return false
+		}
+	}
+	for t, ts := range m.Tenants {
+		if o.Tenants[t] != ts {
 			return false
 		}
 	}
@@ -311,6 +322,7 @@ type Stats struct {
 	currentQuery  *QueryStats
 	mixed         []MixedStats
 	currentMixed  *MixedStats
+	waveTenants   []TenantCount // tenant census of the open mixed wave
 }
 
 // Updates returns per-update statistics recorded between BeginUpdate and
@@ -681,6 +693,7 @@ func (c *Cluster) EndMixed() MixedStats {
 	if m == nil {
 		return MixedStats{}
 	}
+	c.stats.shareLeftoverRounds(m)
 	c.stats.mixed = append(c.stats.mixed, *m)
 	if m.Updates.Updates > 0 || m.Updates.Rounds > 0 {
 		c.stats.batches = append(c.stats.batches, m.Updates)
@@ -697,13 +710,7 @@ func (c *Cluster) EndMixed() MixedStats {
 // window's query half, while every other wave's rounds (the reads ride
 // along) fold into the update half. Waves never nest.
 func (c *Cluster) BeginMixedWave(updates, queries int) {
-	if c.stats.currentMixed == nil {
-		panic("mpc: BeginMixedWave outside a mixed window")
-	}
-	if c.stats.currentWave != nil {
-		panic("mpc: BeginMixedWave inside an open wave (close it with EndMixedWave first)")
-	}
-	c.stats.currentWave = &WaveStats{Updates: updates, Queries: queries}
+	c.BeginMixedWaveTenants(updates, queries, nil)
 }
 
 // EndMixedWave finishes the current mixed wave and records it on the open
@@ -723,6 +730,7 @@ func (c *Cluster) EndMixedWave() WaveStats {
 	if w.Updates > 0 {
 		m.Updates.Waves = append(m.Updates.Waves, *w)
 	}
+	c.stats.shareWaveRounds(m, *w)
 	return *w
 }
 

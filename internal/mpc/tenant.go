@@ -1,0 +1,129 @@
+package mpc
+
+// TenantCount is one tenant's op census over a mixed window or one of
+// its waves: how many of the covered updates/queries belong to the
+// tenant. Censuses are how the algorithm layers (which know op tenancy)
+// feed the accounting layer (which only counts rounds).
+type TenantCount struct {
+	Tenant  int
+	Updates int
+	Queries int
+}
+
+// TenantStats is one tenant's slice of a mixed window. Ops/Updates/
+// Queries count the tenant's ops; Rounds is the tenant's share of the
+// window's rounds, attributed wave by wave: a wave's rounds divide
+// among the tenants with ops in it proportional to their op counts, and
+// rounds outside any declared wave (scheduling, drains, chained serial
+// runs) divide over the whole window's census the same way. Summed over
+// tenants, Rounds equals the window total — attribution splits rounds,
+// never mints them.
+type TenantStats struct {
+	Ops     int
+	Updates int
+	Queries int
+	Rounds  float64
+}
+
+// TenantCensus builds a census over n ops described by info (tenant id
+// and read/write side per index), grouping tenants in first-seen order
+// so the result is deterministic for a given op order. The algorithm
+// layers use it for both window and wave censuses.
+func TenantCensus(n int, info func(i int) (tenant int, query bool)) []TenantCount {
+	var census []TenantCount
+	slot := make(map[int]int, 2)
+	for i := 0; i < n; i++ {
+		t, q := info(i)
+		j, ok := slot[t]
+		if !ok {
+			j = len(census)
+			slot[t] = j
+			census = append(census, TenantCount{Tenant: t})
+		}
+		if q {
+			census[j].Queries++
+		} else {
+			census[j].Updates++
+		}
+	}
+	return census
+}
+
+// BeginMixedTenants seeds the open mixed window's per-tenant breakdown
+// from the window census. Windows without a census (the single-tenant
+// default) never allocate the map, keeping MixedStats bit-identical to
+// pre-tenancy behavior.
+func (c *Cluster) BeginMixedTenants(census []TenantCount) {
+	m := c.stats.currentMixed
+	if m == nil {
+		panic("mpc: BeginMixedTenants outside a mixed window")
+	}
+	m.Tenants = make(map[int]TenantStats, len(census))
+	for _, tc := range census {
+		ts := m.Tenants[tc.Tenant]
+		ts.Ops += tc.Updates + tc.Queries
+		ts.Updates += tc.Updates
+		ts.Queries += tc.Queries
+		m.Tenants[tc.Tenant] = ts
+	}
+}
+
+// BeginMixedWaveTenants is BeginMixedWave plus the wave's tenant
+// census; EndMixedWave will split the wave's rounds across the census
+// proportional to op counts. A nil census (or a window without
+// BeginMixedTenants) attributes nothing — BeginMixedWave delegates
+// here.
+func (c *Cluster) BeginMixedWaveTenants(updates, queries int, census []TenantCount) {
+	if c.stats.currentMixed == nil {
+		panic("mpc: BeginMixedWave outside a mixed window")
+	}
+	if c.stats.currentWave != nil {
+		panic("mpc: BeginMixedWave inside an open wave (close it with EndMixedWave first)")
+	}
+	c.stats.currentWave = &WaveStats{Updates: updates, Queries: queries}
+	c.stats.waveTenants = append(c.stats.waveTenants[:0], census...)
+}
+
+// shareWaveRounds folds a closed wave's rounds into the window's
+// per-tenant breakdown by wave share.
+func (s *Stats) shareWaveRounds(m *MixedStats, w WaveStats) {
+	census := s.waveTenants
+	s.waveTenants = s.waveTenants[:0]
+	if m.Tenants == nil || len(census) == 0 || w.Rounds == 0 {
+		return
+	}
+	tot := 0
+	for _, tc := range census {
+		tot += tc.Updates + tc.Queries
+	}
+	if tot == 0 {
+		return
+	}
+	for _, tc := range census {
+		ts := m.Tenants[tc.Tenant]
+		ts.Rounds += float64(w.Rounds) * float64(tc.Updates+tc.Queries) / float64(tot)
+		m.Tenants[tc.Tenant] = ts
+	}
+}
+
+// shareLeftoverRounds attributes the window rounds no declared wave
+// covered (scheduling, drain, chained serial segments) across the
+// window census, keeping the per-tenant Rounds a partition of the
+// window total.
+func (s *Stats) shareLeftoverRounds(m *MixedStats) {
+	if m.Tenants == nil || m.Ops == 0 {
+		return
+	}
+	waveRounds := 0
+	for _, w := range m.Waves {
+		waveRounds += w.Rounds
+	}
+	leftover := m.Rounds() - waveRounds
+	if leftover <= 0 {
+		return
+	}
+	for t, ts := range m.Tenants {
+		ts.Rounds += float64(leftover) * float64(ts.Ops) / float64(m.Ops)
+		m.Tenants[t] = ts
+	}
+}

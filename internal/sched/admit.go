@@ -20,6 +20,7 @@ type Admitter struct {
 	usage       map[int64]int  // shared-claim usage per key
 	n           int            // items admitted since the last Reset
 	solo        bool           // a Solo item holds the set: nothing else joins
+	fair        *Fair          // optional tenant policy; nil = first-fit
 }
 
 // NewAdmitter returns an empty admitter with the given shared-claim
@@ -30,16 +31,33 @@ func NewAdmitter(budget int) *Admitter {
 	return a
 }
 
+// NewAdmitterFair returns an admitter that additionally meters each
+// tenant's summed shared cost against the Fair policy's deficits, under
+// exactly the FirstWaveFair rules: the greedy admitted prefix equals
+// the prefix FirstWaveFair would certify over the same items (pinned by
+// TestAdmitterFirstWaveFairEquivalence). nil fair is NewAdmitter.
+func NewAdmitterFair(budget int, fair *Fair) *Admitter {
+	a := &Admitter{budget: budget, fair: fair}
+	a.Reset()
+	return a
+}
+
 // Len returns the number of items admitted since the last Reset.
 func (a *Admitter) Len() int { return a.n }
 
 // Reset empties the wave set; the caller does this after flushing it.
+// With a Fair policy attached this is the wave boundary: every tenant's
+// deficit is topped up by its quantum, mirroring FirstWaveFair's
+// BeginWave.
 func (a *Admitter) Reset() {
 	a.claimed = make(map[int64]bool, 8)
 	a.readClaimed = make(map[int64]bool, 4)
 	a.usage = make(map[int64]int, 4)
 	a.n = 0
 	a.solo = false
+	if a.fair != nil {
+		a.fair.BeginWave()
+	}
 }
 
 // Admit reports whether the item may join the open wave set, recording
@@ -61,6 +79,9 @@ func (a *Admitter) Admit(it Item) bool {
 		}
 		a.solo = true
 		a.n = 1
+		if a.fair != nil {
+			a.fair.charge(it.Tenant, a.fair.cost(it))
+		}
 		return true
 	}
 	for _, k := range it.Excl {
@@ -80,6 +101,12 @@ func (a *Admitter) Admit(it Item) bool {
 			}
 		}
 	}
+	// Tenant fairness, FirstWaveFair's rule: the first item of the set
+	// always joins (progress) and is charged; later items need their
+	// tenant's deficit to cover the cost.
+	if a.fair != nil && a.n > 0 && !a.fair.allows(it.Tenant, a.fair.cost(it)) {
+		return false
+	}
 	for _, k := range it.Excl {
 		a.claimed[k] = true
 	}
@@ -88,6 +115,9 @@ func (a *Admitter) Admit(it Item) bool {
 	}
 	for _, cl := range it.Shared {
 		a.usage[cl.Key] += cl.Cost
+	}
+	if a.fair != nil {
+		a.fair.charge(it.Tenant, a.fair.cost(it))
 	}
 	a.n++
 	return true

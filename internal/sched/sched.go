@@ -69,6 +69,11 @@ type Item struct {
 	// Solo marks an update whose touch set is unbounded at schedule time:
 	// it conflicts with every other update.
 	Solo bool
+	// Tenant is the logical stream the op belongs to. It does not affect
+	// conflict semantics — only how a Fair policy meters the op's shared
+	// cost against the tenant's deficit (see FirstWaveFair). Zero is the
+	// single-tenant default.
+	Tenant int
 }
 
 // ConflictGraph is the semantic conflict relation over the ops of one
