@@ -33,9 +33,18 @@
 // against a committed BENCH_*.json snapshot and the command exits nonzero
 // on a regression beyond -tolerance (default 10%) — the CI bench smoke.
 //
+// With -cpuprofile FILE / -memprofile FILE the measured section (every
+// table, from the first measurement to the last) is wrapped in a pprof
+// capture: -cpuprofile streams the CPU profile of the measurements
+// themselves, -memprofile snapshots the heap (after a forced collection)
+// the moment the measurements finish. Construction and report
+// marshalling stay outside both, so the profiles answer "where do the
+// benchmarked ops spend their time/memory" — the standing profiling
+// hook for perf PRs.
+//
 // Usage:
 //
-//	dmpcbench [-n 128] [-updates 500] [-seed 1] [-sweep] [-batch k] [-shard] [-autobatch] [-queries Q] [-readfrac f] [-json] [-baseline FILE] [-tolerance f]
+//	dmpcbench [-n 128] [-updates 500] [-seed 1] [-sweep] [-batch k] [-shard] [-autobatch] [-queries Q] [-readfrac f] [-wallclock] [-wallmax n] [-cpuprofile FILE] [-memprofile FILE] [-json] [-baseline FILE] [-tolerance f]
 package main
 
 import (
@@ -45,6 +54,8 @@ import (
 	"math"
 	"math/rand"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"text/tabwriter"
 	"time"
@@ -995,13 +1006,17 @@ func checkBaseline(rep benchReport, path string, tol float64) error {
 	// are machine-dependent and never gated against the snapshot; what IS
 	// an invariant is the trajectory's headline: at n >= 10^4 the parallel
 	// backend must beat the sim oracle's makespan on the same stream.
+	// Allocs/round is gated outright: the pooled round engine's bill is a
+	// code property, not a machine property, so drifting past the snapshot
+	// (modulo tol and a small absolute slack for GC-clock jitter) means
+	// someone re-introduced per-round allocation.
 	type wkey struct {
 		name, backend string
 		n             int
 	}
-	wallBase := make(map[wkey]float64, len(want.Wall))
+	wallBase := make(map[wkey]wallRow, len(want.Wall))
 	for _, w := range want.Wall {
-		wallBase[wkey{w.Name, w.Backend, w.N}] = w.RoundsPerOp
+		wallBase[wkey{w.Name, w.Backend, w.N}] = w
 	}
 	simWall := make(map[wkey]wallRow, len(rep.Wall))
 	for _, w := range rep.Wall {
@@ -1010,11 +1025,16 @@ func checkBaseline(rep benchReport, path string, tol float64) error {
 		}
 	}
 	for _, w := range rep.Wall {
-		if wantR, ok := wallBase[wkey{w.Name, w.Backend, w.N}]; ok {
+		if wantW, ok := wallBase[wkey{w.Name, w.Backend, w.N}]; ok {
 			matched++
-			if w.RoundsPerOp > wantR*(1+tol) {
+			if w.RoundsPerOp > wantW.RoundsPerOp*(1+tol) {
 				return fmt.Errorf("%s (n=%d, %s): wall-clock rounds/op %.3f regressed past snapshot %.3f by more than %.0f%% (%s)",
-					w.Name, w.N, w.Backend, w.RoundsPerOp, wantR, tol*100, path)
+					w.Name, w.N, w.Backend, w.RoundsPerOp, wantW.RoundsPerOp, tol*100, path)
+			}
+			// Pre-PR-9 snapshots carry no allocs column (0): nothing to gate.
+			if budget := wantW.AllocsPerRound*(1+tol) + 16; wantW.AllocsPerRound > 0 && w.AllocsPerRound > budget {
+				return fmt.Errorf("%s (n=%d, %s): allocs/round %.1f exceeds the snapshot's %.1f (budget %.1f) — the pooled round engine is allocating again (%s)",
+					w.Name, w.N, w.Backend, w.AllocsPerRound, wantW.AllocsPerRound, budget, path)
 			}
 		}
 		if w.Backend != "parallel" {
@@ -1131,8 +1151,10 @@ func main() {
 	readfrac := flag.Float64("readfrac", 0.5, "target read fraction of the mixed workload")
 	backendFlag := flag.String("backend", "sim", "execution backend for the measurement tables: sim (deterministic oracle) or parallel (goroutine-per-machine runtime)")
 	workers := flag.Int("workers", 0, "backend worker bound (0 = GOMAXPROCS); never changes rounds, only wall-clock time")
-	doWall := flag.Bool("wallclock", false, "measure the sim-vs-parallel wall-clock trajectory (ns/op and makespan next to rounds/op) over the -wallmax n ladder")
-	wallMax := flag.Int("wallmax", 100_000, "largest n of the -wallclock ladder (CI smoke caps this; snapshots record the full climb)")
+	doWall := flag.Bool("wallclock", false, "measure the sim-vs-parallel wall-clock trajectory (ns/op, makespan and allocs/round next to rounds/op) over the -wallmax n ladder")
+	wallMax := flag.Int("wallmax", 1_000_000, "largest n of the -wallclock ladder (CI smoke caps this; snapshots record the full climb)")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the measured section to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile, captured right after the measured section, to this file")
 	asJSON := flag.Bool("json", false, "emit the measurements as JSON")
 	baseline := flag.String("baseline", "", "committed BENCH_*.json snapshot to compare amortized batch rounds against; exit nonzero on >tolerance regression")
 	tolerance := flag.Float64("tolerance", 0.10, "relative regression tolerance for -baseline")
@@ -1144,6 +1166,21 @@ func main() {
 		os.Exit(2)
 	}
 	benchBackend, benchWorkers = be, *workers
+
+	// The profile window opens here and closes after the last table, so
+	// the captures cover exactly the measurements (see the doc comment).
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dmpcbench:", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "dmpcbench: cpuprofile:", err)
+			os.Exit(2)
+		}
+	}
 
 	rows := table(*n, *updates, *seed)
 	var brows []batchRow
@@ -1193,6 +1230,25 @@ func main() {
 	if *doWall {
 		wrows = wallTable(*updates, *seed, *wallMax)
 	}
+
+	// Measurements done: close the profile window before reporting.
+	if *cpuProfile != "" {
+		pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dmpcbench:", err)
+			os.Exit(2)
+		}
+		runtime.GC() // heap profile of live objects, not collectable garbage
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "dmpcbench: memprofile:", err)
+			os.Exit(2)
+		}
+		f.Close()
+	}
+
 	rep := buildReport(rows, brows, shrows, arows, qrows, mrows, srows, *n, *updates, *batch, queryUpdK, *readfrac, *seed)
 	rep.Arrivals = arrRows
 	rep.LatencyAuto = latRows

@@ -67,6 +67,11 @@ type wallRow struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	MakespanNs  int64   `json:"makespan_ns"`
 	NsPerRound  float64 `json:"ns_per_round"`
+	// AllocsPerRound is the heap-allocation bill per round (Mallocs delta
+	// over the measured section of the fastest rep, construction excluded)
+	// — the figure the sparse-activation pooling drives toward zero and
+	// checkBaseline gates outright. Absent (0) in pre-PR-9 snapshots.
+	AllocsPerRound float64 `json:"allocs_per_round,omitempty"`
 }
 
 // wallK is the batch size of the wall-clock runs: large enough to
@@ -74,10 +79,11 @@ type wallRow struct {
 // batches.
 const wallK = 64
 
-// wallNs is the input-size ladder: the Table 1 default plus the two
-// orders of magnitude the parallel backend exists for. -wallmax caps it
-// so CI smoke stays fast while committed snapshots record the full climb.
-var wallNs = []int{128, 10_000, 100_000}
+// wallNs is the input-size ladder: the Table 1 default plus the three
+// orders of magnitude the parallel backend and the sparse-activation
+// round engine exist for. -wallmax caps it so CI smoke stays fast while
+// committed snapshots record the full climb.
+var wallNs = []int{128, 10_000, 100_000, 1_000_000}
 
 // wallRunner builds one algorithm instance pinned to a backend and
 // returns its batch front door plus the cluster teardown.
@@ -112,18 +118,24 @@ const wallReps = 5
 // makespan measures steady-state op processing — and, like the testing
 // package before each benchmark, the rep starts from a forced collection
 // so GC pacing inherited from earlier tables or the other backend's reps
-// cannot leak into this one.
-func measureWallOnce(wr wallRunner, n int, stream []graph.Update, be mpc.BackendKind) (rounds, ops int, elapsed int64) {
+// cannot leak into this one. allocs is the heap-allocation count of the
+// measured section (Mallocs delta, construction excluded); the
+// ReadMemStats calls sit outside the clock.
+func measureWallOnce(wr wallRunner, n int, stream []graph.Update, be mpc.BackendKind) (rounds, ops int, allocs uint64, elapsed int64) {
 	runtime.GC()
 	apply, closeFn := wr.mk(n, be)
 	defer closeFn()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
 	start := time.Now()
 	for _, b := range graph.Chunk(stream, wallK) {
 		st := apply(b)
 		rounds += st.Rounds
 		ops += st.Updates
 	}
-	return rounds, ops, time.Since(start).Nanoseconds()
+	elapsed = time.Since(start).Nanoseconds()
+	runtime.ReadMemStats(&after)
+	return rounds, ops, after.Mallocs - before.Mallocs, elapsed
 }
 
 // measureWall measures one (algorithm, n) cell on both backends,
@@ -135,7 +147,7 @@ func measureWall(wr wallRunner, n int, stream []graph.Update) []wallRow {
 	rows := make([]wallRow, len(backends))
 	for rep := 0; rep < wallReps; rep++ {
 		for bi, be := range backends {
-			rounds, ops, elapsed := measureWallOnce(wr, n, stream, be)
+			rounds, ops, allocs, elapsed := measureWallOnce(wr, n, stream, be)
 			if rows[bi].MakespanNs == 0 || elapsed < rows[bi].MakespanNs {
 				rows[bi] = wallRow{Name: wr.name, N: n, K: wallK, Ops: ops, Backend: be.String(), MakespanNs: elapsed}
 				if ops > 0 {
@@ -144,6 +156,7 @@ func measureWall(wr wallRunner, n int, stream []graph.Update) []wallRow {
 				}
 				if rounds > 0 {
 					rows[bi].NsPerRound = float64(elapsed) / float64(rounds)
+					rows[bi].AllocsPerRound = float64(allocs) / float64(rounds)
 				}
 			}
 		}
@@ -170,10 +183,10 @@ func wallTable(nUpdates int, seed int64, wallMax int) []wallRow {
 func printWallTable(rows []wallRow) {
 	fmt.Println("\nWall-clock trajectory: sim oracle vs parallel backend (same stream, k=64):")
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintf(w, "Algorithm\tn\tbackend\tops\trounds/op\tns/op\tns/round\tmakespan\n")
+	fmt.Fprintf(w, "Algorithm\tn\tbackend\tops\trounds/op\tns/op\tns/round\tallocs/round\tmakespan\n")
 	for _, r := range rows {
-		fmt.Fprintf(w, "%s\t%d\t%s\t%d\t%.2f\t%.0f\t%.0f\t%s\n",
-			r.Name, r.N, r.Backend, r.Ops, r.RoundsPerOp, r.NsPerOp, r.NsPerRound,
+		fmt.Fprintf(w, "%s\t%d\t%s\t%d\t%.2f\t%.0f\t%.0f\t%.1f\t%s\n",
+			r.Name, r.N, r.Backend, r.Ops, r.RoundsPerOp, r.NsPerOp, r.NsPerRound, r.AllocsPerRound,
 			time.Duration(r.MakespanNs))
 	}
 	w.Flush()

@@ -138,7 +138,9 @@ func New(cfg Config) *D {
 	}
 	// Initial singleton components: comp(v) = v, size 1, registered.
 	for v := 0; v < cfg.N; v++ {
-		d.shards[d.owner(v)].verts[int32(v)] = int64(v)
+		sh := d.shards[d.owner(v)]
+		sh.verts[int32(v)] = int64(v)
+		sh.compVerts[int64(v)] = []int32{int32(v)}
 		d.shards[d.registry(int64(v))].sizes[int64(v)] = 1
 	}
 	return d
@@ -635,6 +637,31 @@ func (d *D) Validate() error {
 		}
 		if a.seen != want {
 			return fmt.Errorf("edge %v: %d copies, want %d", ge, a.seen, want)
+		}
+	}
+
+	// The compVerts inverse index must mirror verts exactly on every
+	// shard: each owned vertex listed once under its current label, no
+	// stale or duplicate entries. The broadcast relabel loops walk this
+	// index instead of scanning verts, so drift here would silently skip
+	// (or double-apply) component relabels.
+	for _, sh := range d.shards {
+		listed := 0
+		seen := make(map[int32]bool, len(sh.verts))
+		for comp, vs := range sh.compVerts {
+			for _, v := range vs {
+				if seen[v] {
+					return fmt.Errorf("machine %d: vertex %d listed twice in compVerts", sh.id, v)
+				}
+				seen[v] = true
+				if got, ok := sh.verts[v]; !ok || got != comp {
+					return fmt.Errorf("machine %d: compVerts files vertex %d under %d, verts says %d", sh.id, v, comp, got)
+				}
+			}
+			listed += len(vs)
+		}
+		if listed != len(sh.verts) {
+			return fmt.Errorf("machine %d: compVerts indexes %d vertices, verts holds %d", sh.id, listed, len(sh.verts))
 		}
 	}
 

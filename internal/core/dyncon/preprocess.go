@@ -90,10 +90,14 @@ func (d *D) Preprocess(g *graph.Graph) staticmpc.Result {
 		}
 	}
 	sizes := map[int64]int{}
+	for _, sh := range d.shards {
+		sh.compVerts = make(map[int64][]int32)
+	}
 	for v := 0; v < g.N(); v++ {
 		sizes[comps[v]]++
 		sh := d.shards[d.owner(v)]
 		sh.verts[int32(v)] = comps[v]
+		sh.compVerts[comps[v]] = append(sh.compVerts[comps[v]], int32(v))
 	}
 	// Reset registries to the new components.
 	for _, sh := range d.shards {

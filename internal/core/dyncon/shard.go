@@ -133,7 +133,15 @@ type shard struct {
 	id, mu int
 	cfg    Config
 
-	verts        map[int32]int64
+	verts map[int32]int64
+	// compVerts is the inverse of verts — component label -> owned
+	// vertices carrying it — so the broadcast relabel loops in onDoLink
+	// and onDoCut walk only the touched component instead of scanning
+	// every owned vertex (O(n/µ) per machine per broadcast, i.e. O(n)
+	// cluster-wide work per update once n reaches 10^5). The index is a
+	// runtime cache derived from verts: it never changes messages, stats
+	// or MemWords, which charge for the logical state only.
+	compVerts    map[int64][]int32
 	tree         map[graph.Edge]*treeRec
 	nontree      map[graph.Edge]*ntRec
 	sizes        map[int64]int
@@ -147,6 +155,7 @@ func newShard(id, mu int, cfg Config) *shard {
 	return &shard{
 		id: id, mu: mu, cfg: cfg,
 		verts:        make(map[int32]int64),
+		compVerts:    make(map[int64][]int32),
 		tree:         make(map[graph.Edge]*treeRec),
 		nontree:      make(map[graph.Edge]*ntRec),
 		sizes:        make(map[int64]int),
@@ -485,33 +494,56 @@ func (s *shard) onDoCut(ctx *mpc.Ctx, w wire) {
 		rec.aU, rec.cU = applyChain(w.Shifts, rec.aU, rec.cU)
 		rec.aV, rec.cV = applyChain(w.Shifts, rec.aV, rec.cV)
 	}
-	// Vertex labels: an owned vertex adopts the component of any of its
-	// incident (already shifted) tree records; the named child endpoint is
-	// handled explicitly below since it may have lost its only record.
-	vcomp := make(map[int32]int64, 2*len(s.tree))
-	for ge, rec := range s.tree {
-		vcomp[int32(ge.U)] = rec.comp
-		vcomp[int32(ge.V)] = rec.comp
-	}
-	for v, comp := range s.verts {
-		if comp != compOld {
-			continue
-		}
-		if c, ok := vcomp[v]; ok {
-			s.verts[v] = c
-		}
-	}
 	// Named endpoints: the child (whose interval was [fy,ly] pre-cut) is
-	// the endpoint appearing at fy on the captured record.
+	// the endpoint appearing at fy on the captured record. Resolved before
+	// the relabel pass so the index filter can route it directly.
+	childV := int32(-1)
+	child, parent := int(w.U), int(w.V)
 	if captured != nil {
-		child, parent := int(w.U), int(w.V)
 		pu := posOf(&captured.pos, int(w.U))
 		if pu[0] != fy && pu[1] != fy {
 			child, parent = int(w.V), int(w.U)
 		}
 		if s.owner(int32(child)) == s.id {
-			s.verts[int32(child)] = compNew
+			childV = int32(child)
 		}
+	}
+	// Vertex labels: an owned vertex adopts the component of any of its
+	// incident (already shifted) tree records; the named child endpoint is
+	// handled explicitly since it may have lost its only record. Only
+	// vertices labeled compOld can move, so the pass walks the compVerts
+	// inverse index instead of every owned vertex; all tour appearances of
+	// a vertex land on one side of the cut, so its incident records agree
+	// on the adopted label exactly as the old full scan did.
+	if members := s.compVerts[compOld]; len(members) > 0 {
+		vcomp := make(map[int32]int64, 2*len(s.tree))
+		for ge, rec := range s.tree {
+			vcomp[int32(ge.U)] = rec.comp
+			vcomp[int32(ge.V)] = rec.comp
+		}
+		kept := members[:0]
+		for _, v := range members {
+			if v == childV {
+				continue // labeled compNew below
+			}
+			if c, ok := vcomp[v]; ok && c != compOld {
+				s.verts[v] = c
+				s.compVerts[c] = append(s.compVerts[c], v)
+			} else {
+				kept = append(kept, v)
+			}
+		}
+		if len(kept) == 0 {
+			delete(s.compVerts, compOld)
+		} else {
+			s.compVerts[compOld] = kept
+		}
+	}
+	if childV >= 0 {
+		s.verts[childV] = compNew
+		s.compVerts[compNew] = append(s.compVerts[compNew], childV)
+	}
+	if captured != nil {
 		if w.Convert && (s.owner(int32(e.U)) == s.id || s.owner(int32(e.V)) == s.id) {
 			// Re-add the evicted MST edge as a non-tree record with
 			// repaired anchors; the repair shift handles the singleton
@@ -757,11 +789,17 @@ func (s *shard) onDoLink(ctx *mpc.Ctx, w wire) {
 			}
 		}
 	}
-	for v, comp := range s.verts {
-		if comp == compY {
-			s.verts[v] = compX
-		}
+	// Guest vertices adopt the host's label; the compVerts inverse index
+	// hands over exactly the owned vertices labeled compY, so the relabel
+	// is O(|guest ∩ shard|) instead of a scan over every owned vertex.
+	guests := s.compVerts[compY]
+	for _, v := range guests {
+		s.verts[v] = compX
 	}
+	if len(guests) > 0 {
+		s.compVerts[compX] = append(s.compVerts[compX], guests...)
+	}
+	delete(s.compVerts, compY)
 	e := graph.NormEdge(int(w.U), int(w.V))
 	if s.owner(int32(e.U)) == s.id || s.owner(int32(e.V)) == s.id {
 		if w.Promote {

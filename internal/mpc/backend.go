@@ -2,6 +2,7 @@ package mpc
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 )
 
@@ -81,25 +82,61 @@ type Backend interface {
 // every backend, plus the deterministic pre- and post-round phases. Only
 // the handler-execution phase in between differs per backend, so the
 // accounting-relevant code paths exist exactly once.
+//
+// Activation is sparse: the base incrementally maintains the exact set of
+// machines with a nonempty inbox or a set schedule bit (pending, an
+// unordered dirty-id buffer deduplicated through inPending), so a round
+// costs O(active·log active + delivered) instead of the former O(µ) scan
+// over every machine — the work-efficiency the model's O(1)-machines
+// claims demand once µ grows past the handful of machines an update
+// touches. Quiescent is a length check on the same buffer, O(1).
 type backendBase struct {
 	c       *Cluster
 	inboxes [][]Message
 	sched   []bool
-	active  []int // per-round scratch: active machine ids, ascending
+
+	// pending holds exactly the ids with a nonempty inbox or schedule bit
+	// (the Quiescent set), unordered; inPending deduplicates insertions.
+	// active is the per-round ascending scratch pending is sorted into;
+	// the two buffers swap every round, so neither is reallocated.
+	pending   []int
+	inPending []bool
+	active    []int
+
+	pool  msgPool   // retired inbox backing arrays, payload-cleared (pool.go)
+	pairs pairStage // flat per-round (from,to,words) runs, folded at settle
+
+	// debugActive, when set by tests, observes every round's active set
+	// right after beginRound computes it — the strictly-ascending,
+	// duplicate-free invariant settle's deterministic merge depends on.
+	debugActive func([]int)
 }
 
 func newBackendBase(c *Cluster) backendBase {
 	return backendBase{
-		c:       c,
-		inboxes: make([][]Message, c.cfg.Machines),
-		sched:   make([]bool, c.cfg.Machines),
+		c:         c,
+		inboxes:   make([][]Message, c.cfg.Machines),
+		sched:     make([]bool, c.cfg.Machines),
+		inPending: make([]bool, c.cfg.Machines),
+	}
+}
+
+// markPending records that machine id now has pending input. Idempotent
+// per round via the inPending marker.
+func (b *backendBase) markPending(id int) {
+	if !b.inPending[id] {
+		b.inPending[id] = true
+		b.pending = append(b.pending, id)
 	}
 }
 
 // Deliver enqueues an externally injected message (Cluster.Send). An
 // out-of-range destination is a model violation, not an index panic, and
 // injected words count toward the pair-communication distribution so
-// CommEntropy sees the cluster's full traffic.
+// CommEntropy sees the cluster's full traffic. External injection folds
+// into the pair map directly — unlike the settle path, no round boundary
+// is guaranteed to follow, and CommEntropy/MaxPairWords must be current
+// whenever the driver looks.
 func (b *backendBase) Deliver(msg Message) {
 	if msg.Words <= 0 {
 		msg.Words = 1
@@ -109,40 +146,46 @@ func (b *backendBase) Deliver(msg Message) {
 		return
 	}
 	b.c.stats.pairWords[[2]int{msg.From, msg.To}] += msg.Words
-	b.inboxes[msg.To] = append(b.inboxes[msg.To], msg)
+	b.inboxes[msg.To] = b.pool.grab(b.inboxes[msg.To], msg)
+	b.markPending(msg.To)
 }
 
 // Schedule marks machine id active for the next round.
 func (b *backendBase) Schedule(id int) {
-	b.sched[id] = true
+	if !b.sched[id] {
+		b.sched[id] = true
+		b.markPending(id)
+	}
 }
 
 // Quiescent reports whether no machine has pending messages or
-// scheduling.
+// scheduling. The pending buffer is exactly that set, so this is O(1).
 func (b *backendBase) Quiescent() bool {
-	for i := range b.inboxes {
-		if len(b.inboxes[i]) > 0 || b.sched[i] {
-			return false
-		}
-	}
-	return true
+	return len(b.pending) == 0
 }
 
-// beginRound computes the round's active set (ascending machine id, into
-// the reused scratch slice) and the delivery statistics.
+// beginRound computes the round's active set (ascending machine id) and
+// the delivery statistics. The pending buffer *is* the active set — it
+// just needs sorting — and the emptied scratch becomes the next round's
+// pending buffer, so the swap allocates nothing. The inPending markers
+// are cleared here: nothing can mark between beginRound and settle (the
+// driver is synchronous and handlers stage through their Ctx), and
+// settle's own staging re-marks the next round's receivers.
 func (b *backendBase) beginRound() ([]int, RoundStats) {
-	b.active = b.active[:0]
+	b.active, b.pending = b.pending, b.active[:0]
+	slices.Sort(b.active)
 	var rs RoundStats
-	for id := range b.c.machines {
-		if len(b.inboxes[id]) > 0 || b.sched[id] {
-			b.active = append(b.active, id)
-			for _, m := range b.inboxes[id] {
-				rs.Words += m.Words
-				rs.Messages++
-			}
+	for _, id := range b.active {
+		b.inPending[id] = false
+		for _, m := range b.inboxes[id] {
+			rs.Words += m.Words
+			rs.Messages++
 		}
 	}
 	rs.Active = len(b.active)
+	if b.debugActive != nil {
+		b.debugActive(b.active)
+	}
 	return b.active, rs
 }
 
@@ -171,16 +214,19 @@ func msgLess(a, b Message) bool {
 	return a.seq < b.seq
 }
 
-// settle is the deterministic round barrier: it clears the consumed
-// inboxes and schedules, stages every active machine's outgoing messages
-// and next-round schedules in ascending machine order — the merge order
-// that keeps delivery, pair accounting and violations bit-identical
-// across backends — enforces the per-machine I/O cap, and folds memory
-// accounting. ctxAt maps an active-set position (and its machine id) to
-// the Ctx the handler ran with.
+// settle is the deterministic round barrier: it retires the consumed
+// inboxes into the pool (payload-cleared) and clears the schedules,
+// stages every active machine's outgoing messages and next-round
+// schedules in ascending machine order — the merge order that keeps
+// delivery, pair accounting and violations bit-identical across
+// backends — enforces the per-machine I/O cap, folds the round's staged
+// pair-communication runs into the lifetime map in one pass, recycles
+// each Ctx for the backend's slab, and folds memory accounting. ctxAt
+// maps an active-set position (and its machine id) to the Ctx the
+// handler ran with.
 func (b *backendBase) settle(active []int, ctxAt func(i, id int) *Ctx) {
 	for _, id := range active {
-		b.inboxes[id] = nil
+		b.inboxes[id] = b.pool.retire(b.inboxes[id])
 		b.sched[id] = false
 	}
 	for i, id := range active {
@@ -192,16 +238,22 @@ func (b *backendBase) settle(active []int, ctxAt func(i, id int) *Ctx) {
 				b.c.violation("machine %d sent to invalid machine %d", id, msg.To)
 				continue
 			}
-			b.inboxes[msg.To] = append(b.inboxes[msg.To], msg)
-			b.c.stats.pairWords[[2]int{msg.From, msg.To}] += msg.Words
+			b.inboxes[msg.To] = b.pool.grab(b.inboxes[msg.To], msg)
+			b.markPending(msg.To)
+			b.pairs.add(msg.From, msg.To, msg.Words)
 		}
 		if sent > b.c.cfg.MemWords {
 			b.c.violation("machine %d sent %d words in one round (cap %d)", id, sent, b.c.cfg.MemWords)
 		}
 		for _, s := range ctx.schedule {
-			b.sched[s] = true
+			if !b.sched[s] {
+				b.sched[s] = true
+				b.markPending(s)
+			}
 		}
+		ctx.recycle()
 	}
+	b.pairs.fold(&b.c.stats)
 	for _, id := range active {
 		if mr, ok := b.c.machines[id].(MemReporter); ok {
 			w := mr.MemWords()

@@ -5,9 +5,19 @@ import (
 	"testing"
 )
 
+// relayFingerprint is the full observable state of one relay run — the
+// answer trace plus every accounting figure the determinism rule pins,
+// including the pair-communication distribution (CommEntropy and
+// MaxPairWords must survive the staged-fold accounting path bit for bit).
+type relayFingerprint struct {
+	rounds, words, maxPair int
+	entropy                float64
+	trace                  []int64
+}
+
 // runRelayOn executes the branching relay of determinism_test.go on a
 // specific backend and worker bound, returning the trace fingerprint.
-func runRelayOn(be BackendKind, workers int) (rounds int, words int, trace []int64) {
+func runRelayOn(be BackendKind, workers int) relayFingerprint {
 	const mu = 7
 	c := NewCluster(Config{Machines: mu, MemWords: 1 << 20, Workers: workers, Backend: be})
 	defer c.Close()
@@ -18,13 +28,19 @@ func runRelayOn(be BackendKind, workers int) (rounds int, words int, trace []int
 	}
 	c.Send(Message{To: 0, Payload: int64(1), Words: 1})
 	c.Run(500)
+	fp := relayFingerprint{
+		rounds:  c.Stats().Rounds,
+		words:   c.Stats().Words,
+		maxPair: c.MaxPairWords(),
+		entropy: c.CommEntropy(),
+	}
 	for _, m := range ms {
-		trace = append(trace, int64(len(m.seen)))
+		fp.trace = append(fp.trace, int64(len(m.seen)))
 		for _, v := range m.seen {
-			trace = append(trace, v)
+			fp.trace = append(fp.trace, v)
 		}
 	}
-	return c.Stats().Rounds, c.Stats().Words, trace
+	return fp
 }
 
 // TestParallelBackendMatchesSim: the goroutine-per-machine runtime must
@@ -32,18 +48,23 @@ func runRelayOn(be BackendKind, workers int) (rounds int, words int, trace []int
 // every worker sharding — one worker (fully inline on the driver),
 // fewer workers than machines (sharded), and one goroutine per machine.
 func TestParallelBackendMatchesSim(t *testing.T) {
-	wr, ww, wt := runRelayOn(BackendSim, 0)
+	want := runRelayOn(BackendSim, 0)
 	for _, workers := range []int{1, 2, 3, 7, 16} {
-		gr, gw, gt := runRelayOn(BackendParallel, workers)
-		if gr != wr || gw != ww {
-			t.Fatalf("parallel workers=%d: rounds/words %d/%d, sim %d/%d", workers, gr, gw, wr, ww)
+		got := runRelayOn(BackendParallel, workers)
+		if got.rounds != want.rounds || got.words != want.words {
+			t.Fatalf("parallel workers=%d: rounds/words %d/%d, sim %d/%d",
+				workers, got.rounds, got.words, want.rounds, want.words)
 		}
-		if len(gt) != len(wt) {
-			t.Fatalf("parallel workers=%d: trace length %d, sim %d", workers, len(gt), len(wt))
+		if got.maxPair != want.maxPair || got.entropy != want.entropy {
+			t.Fatalf("parallel workers=%d: pair accounting %d/%v, sim %d/%v",
+				workers, got.maxPair, got.entropy, want.maxPair, want.entropy)
 		}
-		for i := range wt {
-			if gt[i] != wt[i] {
-				t.Fatalf("parallel workers=%d: trace[%d] = %d, sim %d", workers, i, gt[i], wt[i])
+		if len(got.trace) != len(want.trace) {
+			t.Fatalf("parallel workers=%d: trace length %d, sim %d", workers, len(got.trace), len(want.trace))
+		}
+		for i := range want.trace {
+			if got.trace[i] != want.trace[i] {
+				t.Fatalf("parallel workers=%d: trace[%d] = %d, sim %d", workers, i, got.trace[i], want.trace[i])
 			}
 		}
 	}
@@ -54,15 +75,15 @@ func TestParallelBackendMatchesSim(t *testing.T) {
 // guarantee.
 func TestWorkersDeterminismPerBackend(t *testing.T) {
 	for _, be := range []BackendKind{BackendSim, BackendParallel} {
-		r1, w1, t1 := runRelayOn(be, 1)
-		rn, wn, tn := runRelayOn(be, runtime.GOMAXPROCS(0))
-		if r1 != rn || w1 != wn || len(t1) != len(tn) {
-			t.Fatalf("%v: workers=1 got %d rounds/%d words/%d trace, GOMAXPROCS got %d/%d/%d",
-				be, r1, w1, len(t1), rn, wn, len(tn))
+		f1 := runRelayOn(be, 1)
+		fn := runRelayOn(be, runtime.GOMAXPROCS(0))
+		if f1.rounds != fn.rounds || f1.words != fn.words || len(f1.trace) != len(fn.trace) ||
+			f1.maxPair != fn.maxPair || f1.entropy != fn.entropy {
+			t.Fatalf("%v: workers=1 got %+v, GOMAXPROCS got %+v", be, f1, fn)
 		}
-		for i := range t1 {
-			if t1[i] != tn[i] {
-				t.Fatalf("%v: trace[%d] differs across worker counts: %d vs %d", be, i, t1[i], tn[i])
+		for i := range f1.trace {
+			if f1.trace[i] != fn.trace[i] {
+				t.Fatalf("%v: trace[%d] differs across worker counts: %d vs %d", be, i, f1.trace[i], fn.trace[i])
 			}
 		}
 	}
@@ -214,6 +235,7 @@ func BenchmarkBackends(b *testing.B) {
 			b.Run(bc.name+"/mu="+itoa(mu), func(b *testing.B) {
 				c := newPingCluster(mu, bc.be, 0)
 				defer c.Close()
+				b.ReportAllocs()
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
 					c.Round()

@@ -36,6 +36,7 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"slices"
 )
 
 // Message is a single inter-machine message. Payload stays in process (the
@@ -813,20 +814,44 @@ func (c *Cluster) violation(format string, args ...any) {
 // proposed in §8 of the paper to quantify how evenly an algorithm spreads
 // its communication. Higher is more uniform; an algorithm funnelling all
 // traffic through a coordinator scores low.
+//
+// The summation runs over the pairs in sorted order: floating-point
+// addition does not commute at the ulp, so summing in (randomized) map
+// iteration order made the last bits of the result run- and
+// backend-dependent, which the determinism rule — bit-identical Stats
+// across backends, pinned by the equivalence fingerprints — does not
+// tolerate.
 func (c *Cluster) CommEntropy() float64 {
 	total := 0
+	volumes := make([]int, 0, len(c.stats.pairWords))
 	for _, w := range c.stats.pairWords {
 		total += w
+		volumes = append(volumes, w)
 	}
 	if total == 0 {
 		return 0
 	}
+	slices.Sort(volumes)
 	h := 0.0
-	for _, w := range c.stats.pairWords {
+	for _, w := range volumes {
 		p := float64(w) / float64(total)
 		h -= p * math.Log2(p)
 	}
 	return h
+}
+
+// MaxPairWords returns the heaviest ordered machine pair's lifetime
+// communication volume in words — the hot-pair companion to CommEntropy:
+// entropy says how evenly traffic spreads, this says how tall the tallest
+// spike is. Zero for a cluster that has communicated nothing.
+func (c *Cluster) MaxPairWords() int {
+	max := 0
+	for _, w := range c.stats.pairWords {
+		if w > max {
+			max = w
+		}
+	}
+	return max
 }
 
 // Ctx is the per-round execution context handed to a machine's handler.

@@ -1,6 +1,9 @@
 package mpc
 
-import "runtime"
+import (
+	"math/bits"
+	"runtime"
+)
 
 // ParallelBackend is the goroutine-per-machine parallel runtime. Machines
 // are statically sharded over long-lived worker goroutines — one machine
@@ -19,11 +22,13 @@ import "runtime"
 // Two fast paths keep serial stretches cheap: the driver executes shard 0
 // itself while the woken workers run, and a round whose active machines
 // all fall into one shard runs entirely inline on the driver with no
-// channel traffic at all. A cluster round therefore costs one slab
-// allocation plus at most one channel wake per involved worker, instead
-// of one goroutine spawn, one semaphore round-trip and one context
-// allocation per active machine — which is where the wall-clock headroom
-// over the sim backend comes from (see BenchmarkBackends).
+// channel traffic at all. The context slab is pooled across rounds
+// (growSlab + settle's payload-clearing recycle), so a cluster round
+// costs at most one channel wake per involved worker and no allocations
+// at steady state, instead of one goroutine spawn, one semaphore
+// round-trip and one context allocation per active machine — which is
+// where the wall-clock headroom over the sim backend comes from (see
+// BenchmarkBackends and TestSteadyStateAllocsPerRound).
 //
 // Close must be called to release the worker goroutines; the facade
 // structures forward their Close to it.
@@ -35,8 +40,10 @@ type ParallelBackend struct {
 
 	// Per-round state, written by the driver before the wakes and read by
 	// the workers (the channel send orders the accesses): the active set,
-	// one fresh context per active machine at the matching position, and
-	// each shard's [start, end) slice of both.
+	// one recycled context per active machine at the matching position,
+	// and each shard's [start, end) slice of both. The slab persists
+	// across rounds — settle payload-clears every slot, so keeping the
+	// backing array pins nothing.
 	active []int
 	slab   []Ctx
 	lo, hi []int
@@ -67,9 +74,16 @@ func newParallelBackend(c *Cluster, workers int) *ParallelBackend {
 }
 
 // shardOf maps a machine id to its static worker shard (contiguous
-// blocks, so a worker's machines stay cache-adjacent).
+// blocks, so a worker's machines stay cache-adjacent). The mapping is
+// floor(id·nshards/µ) computed through a 128-bit intermediate: the naive
+// id*nshards product overflows int for large µ on 32-bit platforms and
+// near-MaxInt ids on 64-bit ones. The quotient always fits — id < µ, so
+// id·nshards/µ < nshards — which also satisfies Div64's hi < divisor
+// precondition.
 func (p *ParallelBackend) shardOf(id int) int {
-	return id * p.nshards / p.c.cfg.Machines
+	hi, lo := bits.Mul64(uint64(id), uint64(p.nshards))
+	quo, _ := bits.Div64(hi, lo, uint64(p.c.cfg.Machines))
+	return int(quo)
 }
 
 // worker is the long-lived loop of one shard: woken with a round number,
@@ -115,12 +129,13 @@ func (p *ParallelBackend) Round() RoundStats {
 	active, rs := p.beginRound()
 	round := p.c.stats.Rounds
 
-	// One contiguous context slab per round, positionally aligned with
-	// the ascending active set; it dies as a unit at the next round. A
-	// shard's slice of it is the maximal run of positions whose machine
-	// ids it owns.
+	// One contiguous context slab, positionally aligned with the
+	// ascending active set and recycled across rounds (growSlab keeps
+	// the backing array; settle payload-cleared every slot last round).
+	// A shard's slice of it is the maximal run of positions whose
+	// machine ids it owns.
 	p.active = active
-	p.slab = make([]Ctx, len(active))
+	p.slab = growSlab(p.slab, len(active))
 	for si := range p.lo {
 		p.lo[si], p.hi[si] = 0, 0
 	}
@@ -149,10 +164,12 @@ func (p *ParallelBackend) Round() RoundStats {
 	slab := p.slab
 	p.settle(active, func(i, _ int) *Ctx { return &slab[i] })
 
-	// Drop the slab reference: settle copied the staged messages into the
-	// receiving inboxes, and a dangling reference here would pin every
-	// payload until the next round.
-	p.active, p.slab = nil, nil
+	// The slab stays banked for the next round: settle copied the staged
+	// messages into the receiving inboxes and recycled every slot with
+	// the payload-clearing rule, so the retained backing array holds no
+	// message payloads — the PR 7 "drop the slab" invariant, now enforced
+	// by clearing instead of dropping.
+	p.active = nil
 	return rs
 }
 

@@ -1,0 +1,281 @@
+package mpc
+
+import (
+	"math"
+	"math/big"
+	"testing"
+)
+
+// setDebugActive installs a test observer on the backend's beginRound —
+// the hook sees every round's active set exactly as settle will.
+func setDebugActive(c *Cluster, f func([]int)) {
+	switch b := c.backend.(type) {
+	case *SimBackend:
+		b.debugActive = f
+	case *ParallelBackend:
+		b.debugActive = f
+	default:
+		panic("setDebugActive: unknown backend")
+	}
+}
+
+// xorshift is the test-local deterministic RNG (math/rand would work too;
+// this keeps the property test's two backend runs trivially identical).
+type xorshift uint64
+
+func (x *xorshift) next() uint64 {
+	v := uint64(*x)
+	v ^= v << 13
+	v ^= v >> 7
+	v ^= v << 17
+	*x = xorshift(v)
+	return v
+}
+
+// TestSteadyStateAllocsPerRound pins the allocation bill of a
+// steady-state Round with every machine active — the pooled hot path.
+// The parallel backend's per-round scratch (active set, Ctx slab, inbox
+// backing arrays, pair staging) is fully recycled, so its budget is zero.
+// The sim oracle inherently spawns one handler goroutine per activation
+// (a closure plus the goroutine itself, ~2 allocations per active
+// machine); its budget pins that linear bill so the pooled parts can't
+// silently regress underneath it.
+func TestSteadyStateAllocsPerRound(t *testing.T) {
+	const mu = 64
+	for _, bc := range []struct {
+		name   string
+		be     BackendKind
+		budget float64
+	}{
+		{"parallel", BackendParallel, 0.5},
+		{"sim", BackendSim, 2*mu + 8},
+	} {
+		c := newPingCluster(mu, bc.be, 4)
+		for i := 0; i < 64; i++ { // warm the pools past the growth phase
+			c.Round()
+		}
+		avg := testing.AllocsPerRun(100, func() { c.Round() })
+		if avg > bc.budget {
+			t.Errorf("%s: %.2f allocs/round at steady state, budget %.1f", bc.name, avg, bc.budget)
+		}
+		c.Close()
+	}
+}
+
+// chaosMachine drives the active-set property test: each activation sends
+// to 0–3 deterministically random targets and occasionally schedules a
+// random machine, logging both so the test can maintain the reference
+// pending set. All state is per-machine, so concurrent handler execution
+// stays deterministic.
+type chaosMachine struct {
+	id, mu    int
+	rng       xorshift
+	sent      []int
+	scheduled []int
+}
+
+func (m *chaosMachine) HandleRound(ctx *Ctx, inbox []Message) {
+	m.sent, m.scheduled = m.sent[:0], m.scheduled[:0]
+	for k := m.rng.next() % 4; k > 0; k-- {
+		to := int(m.rng.next() % uint64(m.mu))
+		ctx.Send(to, int64(to), 1)
+		m.sent = append(m.sent, to)
+	}
+	if m.rng.next()%8 == 0 {
+		s := int(m.rng.next() % uint64(m.mu))
+		ctx.Schedule(s)
+		m.scheduled = append(m.scheduled, s)
+	}
+}
+
+// TestActiveSetInvariantUnderChaos: under randomized Deliver/Schedule
+// interleavings — external injections between rounds plus machines
+// sending and scheduling at random — the active set handed to settle is
+// strictly ascending, duplicate-free, in range, and exactly the set of
+// machines with a pending message or schedule bit, on both backends.
+// This is the invariant the sparse pending set must preserve (the old
+// O(µ) scan got it for free) and the one settle's deterministic
+// ascending-order merge depends on.
+func TestActiveSetInvariantUnderChaos(t *testing.T) {
+	const mu = 33
+	for _, be := range []BackendKind{BackendSim, BackendParallel} {
+		c := NewCluster(Config{Machines: mu, MemWords: 1 << 16, Workers: 5, Backend: be})
+		ms := make([]*chaosMachine, mu)
+		for i := range ms {
+			ms[i] = &chaosMachine{id: i, mu: mu, rng: xorshift(uint64(i)*0x9e3779b97f4a7c15 + 1)}
+			c.SetMachine(i, ms[i])
+		}
+		var observed []int
+		setDebugActive(c, func(active []int) {
+			observed = append(observed[:0], active...)
+		})
+
+		drive := xorshift(42)
+		expect := map[int]bool{}
+		for step := 0; step < 300; step++ {
+			for k := drive.next() % 3; k > 0; k-- {
+				to := int(drive.next() % mu)
+				c.Send(Message{From: -1, To: to, Payload: int64(step), Words: 1})
+				expect[to] = true
+			}
+			if drive.next()%4 == 0 {
+				id := int(drive.next() % mu)
+				c.Schedule(id)
+				expect[id] = true
+			}
+			if c.Quiescent() != (len(expect) == 0) {
+				t.Fatalf("%v step %d: Quiescent()=%v with %d expected pending",
+					be, step, c.Quiescent(), len(expect))
+			}
+			if len(expect) == 0 {
+				continue
+			}
+			observed = observed[:0]
+			rs := c.Round()
+
+			if len(observed) != len(expect) || rs.Active != len(observed) {
+				t.Fatalf("%v step %d: active set size %d (RoundStats %d), want %d",
+					be, step, len(observed), rs.Active, len(expect))
+			}
+			for i, id := range observed {
+				if id < 0 || id >= mu {
+					t.Fatalf("%v step %d: active id %d out of range", be, step, id)
+				}
+				if i > 0 && observed[i-1] >= id {
+					t.Fatalf("%v step %d: active set not strictly ascending at %d: %v",
+						be, step, i, observed)
+				}
+				if !expect[id] {
+					t.Fatalf("%v step %d: machine %d active but never delivered/scheduled", be, step, id)
+				}
+			}
+
+			// The next round's reference set: whatever the machines that
+			// just ran sent or scheduled.
+			clear(expect)
+			for _, id := range observed {
+				for _, to := range ms[id].sent {
+					expect[to] = true
+				}
+				for _, s := range ms[id].scheduled {
+					expect[s] = true
+				}
+			}
+		}
+		c.Close()
+	}
+}
+
+// TestShardOfOverflowBoundary: shardOf is floor(id·nshards/µ) and must
+// stay exact when the naive id*nshards product would overflow int —
+// µ near MaxInt here stands in for the 32-bit case, where overflow
+// starts at entirely realistic cluster sizes (µ·shards > 2³¹). Pinned
+// against a big.Int oracle, alongside the graph.Chunk/SplitOps MaxInt
+// boundary tests. The backend is constructed bare: shardOf reads only
+// nshards and cfg.Machines, and a MaxInt cluster can't be allocated.
+func TestShardOfOverflowBoundary(t *testing.T) {
+	mk := func(machines, shards int) *ParallelBackend {
+		return &ParallelBackend{
+			backendBase: backendBase{c: &Cluster{cfg: Config{Machines: machines}}},
+			nshards:     shards,
+		}
+	}
+	want := func(id, shards, machines int) int {
+		n := new(big.Int).Mul(big.NewInt(int64(id)), big.NewInt(int64(shards)))
+		n.Quo(n, big.NewInt(int64(machines)))
+		return int(n.Int64())
+	}
+
+	p := mk(math.MaxInt, 64)
+	for _, id := range []int{0, 1, math.MaxInt / 64, math.MaxInt / 2, math.MaxInt - 2, math.MaxInt - 1} {
+		got := p.shardOf(id)
+		if w := want(id, 64, math.MaxInt); got != w {
+			t.Errorf("shardOf(%d) with µ=MaxInt, 64 shards: got %d, want %d", id, got, w)
+		}
+		if got < 0 || got >= 64 {
+			t.Errorf("shardOf(%d) = %d out of shard range [0,64)", id, got)
+		}
+	}
+
+	// Where the naive product does not overflow, the mapping is unchanged:
+	// contiguous blocks, monotone, full shard coverage.
+	q := mk(1_000_003, 7)
+	prev := 0
+	for id := 0; id < 1_000_003; id += 997 {
+		got := q.shardOf(id)
+		if naive := id * 7 / 1_000_003; got != naive {
+			t.Fatalf("shardOf(%d) = %d, naive formula says %d", id, got, naive)
+		}
+		if got < prev {
+			t.Fatalf("shardOf not monotone at id %d: %d < %d", id, got, prev)
+		}
+		prev = got
+	}
+	if got := q.shardOf(1_000_002); got != 6 {
+		t.Fatalf("last machine lands in shard %d, want 6", got)
+	}
+}
+
+// TestMsgPoolPayloadClearing pins the payload-clearing rule: a retired
+// inbox's consumed elements are zeroed before the backing array is
+// banked (so the free-list pins no message payloads), and grab hands the
+// banked array back out instead of growing from nil.
+func TestMsgPoolPayloadClearing(t *testing.T) {
+	var p msgPool
+	payload := &struct{ x int }{1}
+	ms := p.grab(nil, Message{From: 1, To: 2, Payload: payload, Words: 3})
+	backing := ms
+	if out := p.retire(ms); out != nil {
+		t.Fatalf("retire returned %v, want nil", out)
+	}
+	if backing[0] != (Message{}) {
+		t.Fatalf("retired element not zeroed: %+v still pins its payload", backing[0])
+	}
+	got := p.grab(nil, Message{To: 9, Words: 1})
+	if &got[0] != &backing[0] {
+		t.Fatal("grab allocated a fresh array instead of reusing the banked one")
+	}
+	if len(p.free) != 0 {
+		t.Fatalf("free-list holds %d arrays after reuse, want 0", len(p.free))
+	}
+	// A never-grown slice has no backing array to bank.
+	if out := p.retire(nil); out != nil || len(p.free) != 0 {
+		t.Fatalf("retire(nil) banked something: out=%v free=%d", out, len(p.free))
+	}
+}
+
+// TestPairStageFoldMatchesDirectWrites: folding the flat per-round runs
+// into the pair map — across random fold boundaries and with run-heavy
+// sequences exercising the same-pair coalescing — produces exactly the
+// map the old per-message writes built. Integer addition commutes, so
+// "exactly" means bit-identical CommEntropy/MaxPairWords inputs.
+func TestPairStageFoldMatchesDirectWrites(t *testing.T) {
+	var stage pairStage
+	st := Stats{pairWords: map[[2]int]int{}}
+	direct := map[[2]int]int{}
+	rng := xorshift(7)
+	from, to := 0, 1
+	for i := 0; i < 2000; i++ {
+		if rng.next()%3 != 0 { // bias toward repeating the previous pair
+			from, to = int(rng.next()%5), int(rng.next()%5)
+		}
+		words := int(rng.next()%9) + 1
+		stage.add(from, to, words)
+		direct[[2]int{from, to}] += words
+		if rng.next()%40 == 0 { // random round boundary
+			stage.fold(&st)
+		}
+	}
+	stage.fold(&st)
+	if len(stage.entries) != 0 {
+		t.Fatalf("stage holds %d entries after fold, want 0", len(stage.entries))
+	}
+	if len(st.pairWords) != len(direct) {
+		t.Fatalf("folded map has %d pairs, direct writes %d", len(st.pairWords), len(direct))
+	}
+	for pair, w := range direct {
+		if st.pairWords[pair] != w {
+			t.Fatalf("pair %v: folded %d words, direct %d", pair, st.pairWords[pair], w)
+		}
+	}
+}

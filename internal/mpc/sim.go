@@ -10,15 +10,18 @@ import "sync"
 // state is only ever touched by the machine's own handler, so results
 // are independent of the worker bound (pinned by the determinism tests).
 //
-// The per-round scratch — the worker semaphore and the active and
-// context slices — is hoisted into the backend and reused across rounds,
-// so a round's allocation bill is one Ctx per active machine plus
-// whatever the handlers themselves allocate (see BenchmarkRoundAllocs).
+// Per-round memory is pooled: the worker semaphore, the active scratch
+// and the Ctx slab are hoisted into the backend, slab slots are recycled
+// (payload-cleared) by settle, and inbox backing arrays cycle through
+// the shared msgPool — so a steady-state round's allocation bill is the
+// handler goroutine spawns plus whatever the handlers themselves
+// allocate (pinned by TestSteadyStateAllocsPerRound and
+// BenchmarkRoundAllocs).
 type SimBackend struct {
 	backendBase
 	workers int
 	sem     chan struct{} // hoisted handler-concurrency semaphore
-	ctxs    []*Ctx        // hoisted per-round contexts, positional over the active set
+	slab    []Ctx         // pooled per-round contexts, positional over the active set
 }
 
 func newSimBackend(c *Cluster, workers int) *SimBackend {
@@ -34,17 +37,13 @@ func newSimBackend(c *Cluster, workers int) *SimBackend {
 // messages they send for the next round.
 func (s *SimBackend) Round() RoundStats {
 	active, rs := s.beginRound()
-
-	if cap(s.ctxs) < len(active) {
-		s.ctxs = make([]*Ctx, len(active))
-	}
-	s.ctxs = s.ctxs[:len(active)]
+	s.slab = growSlab(s.slab, len(active))
 
 	// Run handlers concurrently, bounded by the hoisted semaphore.
 	var wg sync.WaitGroup
 	for i, id := range active {
-		ctx := &Ctx{cluster: s.c, self: id, round: s.c.stats.Rounds}
-		s.ctxs[i] = ctx
+		ctx := &s.slab[i]
+		ctx.cluster, ctx.self, ctx.round = s.c, id, s.c.stats.Rounds
 		inbox := s.inboxes[id]
 		sortInbox(inbox)
 		m := s.c.machines[id]
@@ -60,7 +59,7 @@ func (s *SimBackend) Round() RoundStats {
 	}
 	wg.Wait()
 
-	s.settle(active, func(i, _ int) *Ctx { return s.ctxs[i] })
+	s.settle(active, func(i, _ int) *Ctx { return &s.slab[i] })
 	return rs
 }
 
