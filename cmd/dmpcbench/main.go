@@ -29,6 +29,12 @@
 // query are reported alongside that run's rounds per update — the read
 // path's counterpart of the batch-dynamic headline.
 //
+// With -treedp the tree-DP workload is measured: mixed link/cut/weight/
+// DP-query streams (SubtreeSum, PathSum, TreeTop) from a uniform and a
+// preferential-attachment power-law generator, chunked at k ∈ {8, 64,
+// 256} on both backends, reporting rounds/op, the amortized DP rounds
+// per query and cross-backend answer equality (see BENCH_0010.json).
+//
 // With -baseline FILE the run's amortized batch rounds are compared
 // against a committed BENCH_*.json snapshot and the command exits nonzero
 // on a regression beyond -tolerance (default 10%) — the CI bench smoke.
@@ -44,7 +50,7 @@
 //
 // Usage:
 //
-//	dmpcbench [-n 128] [-updates 500] [-seed 1] [-sweep] [-batch k] [-shard] [-autobatch] [-queries Q] [-readfrac f] [-wallclock] [-wallmax n] [-cpuprofile FILE] [-memprofile FILE] [-json] [-baseline FILE] [-tolerance f]
+//	dmpcbench [-n 128] [-updates 500] [-seed 1] [-sweep] [-batch k] [-shard] [-autobatch] [-queries Q] [-readfrac f] [-treedp] [-wallclock] [-wallmax n] [-cpuprofile FILE] [-memprofile FILE] [-json] [-baseline FILE] [-tolerance f]
 package main
 
 import (
@@ -828,6 +834,7 @@ type benchReport struct {
 	Arrivals    []arrivalRow     `json:"arrivals,omitempty"`
 	LatencyAuto []latencyAutoRow `json:"latency_autobatch,omitempty"`
 	Tenants     []tenantRow      `json:"tenants,omitempty"`
+	TreeDP      []treedpRow      `json:"treedp,omitempty"`
 
 	// Backend records the -backend flag the (non-wallclock) tables ran
 	// on; Wall is the sim-vs-parallel wall-clock trajectory, which always
@@ -999,6 +1006,38 @@ func checkBaseline(rep benchReport, path string, tol float64) error {
 			return fmt.Errorf("%s: tenant tags alone changed answers or accounting — the zero-tenant compatibility contract is broken", tr.Name)
 		}
 	}
+	// Tree-DP gates. The amortized DP rounds/query at k=64 may not drift
+	// past the snapshot, and two invariants hold outright regardless of
+	// any snapshot: on the uniform workload DP reads must amortize below
+	// one round per query at k >= 64 (the power-law rows are exempt — a
+	// giant component legitimately serializes its reads around its own
+	// structural churn, that being the snapshot-consistency contract),
+	// and the sim and parallel backends must have answered the identical
+	// stream bit-identically.
+	type tkey struct {
+		name, backend string
+		k             int
+	}
+	treedpBase := make(map[tkey]float64, len(want.TreeDP))
+	for _, tr := range want.TreeDP {
+		treedpBase[tkey{tr.Name, tr.Backend, tr.K}] = tr.DPRoundsPerQuery
+	}
+	for _, tr := range rep.TreeDP {
+		if wantQ, ok := treedpBase[tkey{tr.Name, tr.Backend, tr.K}]; ok && tr.K == 64 {
+			matched++
+			if tr.DPRoundsPerQuery > wantQ*(1+tol) {
+				return fmt.Errorf("%s (k=%d, %s): DP rounds/query %.3f regressed past snapshot %.3f by more than %.0f%% (%s)",
+					tr.Name, tr.K, tr.Backend, tr.DPRoundsPerQuery, wantQ, tol*100, path)
+			}
+		}
+		if tr.Name == "uniform" && tr.K >= 64 && tr.DPRoundsPerQuery >= 1 {
+			return fmt.Errorf("%s (k=%d, %s): DP reads no longer amortize below one round per query (%.3f)",
+				tr.Name, tr.K, tr.Backend, tr.DPRoundsPerQuery)
+		}
+		if !tr.AnswersMatch {
+			return fmt.Errorf("%s (k=%d): sim and parallel backends disagree on DP answers — the determinism rule is broken", tr.Name, tr.K)
+		}
+	}
 	// Wall-clock gates. Rounds/op is deterministic, so (a) it may not
 	// drift past the snapshot, and (b) within the run the two backends
 	// must agree on it exactly — a rounds-vs-time divergence means a
@@ -1147,6 +1186,7 @@ func main() {
 	queries := flag.Int("queries", 0, "measure the mixed read/write workload with up to this many protocol queries per run")
 	doMixed := flag.Bool("mixed", false, "measure the unified op pipeline (in-wave reads) against the quiescence split at k in {8,64,256}")
 	doArrivals := flag.Bool("arrivals", false, "measure streaming ingestion latency (p50/p95/p99 rounds from arrival) at batch bounds k in {8,64,256} plus the tail-constrained AutoBatcher comparison")
+	doTreeDP := flag.Bool("treedp", false, "measure the tree-DP workload: mixed link/cut/weight/DP-query streams at k in {8,64,256} on both backends, with amortized DP rounds/query and cross-backend answer equality")
 	doTenants := flag.Bool("tenants", false, "measure multi-tenant isolation: a read-mostly victim's p99 solo vs shared with a write-storm tenant, unweighted vs fair-wave packing plus token-bucket admission")
 	readfrac := flag.Float64("readfrac", 0.5, "target read fraction of the mixed workload")
 	backendFlag := flag.String("backend", "sim", "execution backend for the measurement tables: sim (deterministic oracle) or parallel (goroutine-per-machine runtime)")
@@ -1226,6 +1266,10 @@ func main() {
 	if *doTenants {
 		trows = tenantTable(*n, *updates, *seed)
 	}
+	var tdrows []treedpRow
+	if *doTreeDP {
+		tdrows = treedpTable(*n, *updates, *seed)
+	}
 	var wrows []wallRow
 	if *doWall {
 		wrows = wallTable(*updates, *seed, *wallMax)
@@ -1253,6 +1297,7 @@ func main() {
 	rep.Arrivals = arrRows
 	rep.LatencyAuto = latRows
 	rep.Tenants = trows
+	rep.TreeDP = tdrows
 	rep.Backend = benchBackend.String()
 	rep.Wall = wrows
 	if *baseline != "" {
@@ -1288,6 +1333,9 @@ func main() {
 	}
 	if *doTenants {
 		printTenantTable(trows)
+	}
+	if *doTreeDP {
+		printTreeDPTable(tdrows)
 	}
 	if *doWall {
 		printWallTable(wrows)

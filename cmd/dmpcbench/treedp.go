@@ -1,0 +1,143 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"text/tabwriter"
+	"time"
+
+	"dmpc/internal/core/dyncon"
+	"dmpc/internal/graph"
+	"dmpc/internal/mpc"
+)
+
+// --- tree-DP workload -------------------------------------------------------
+
+// treedpRow is one (workload, k, backend) cell of the -treedp table: a
+// mixed link/cut/weight/DP-query stream chunked at k, measured in model
+// rounds and wall-clock. DPRoundsPerQuery is the query half's rounds
+// amortized over the stream's DP reads — a read that rides an update
+// wave bills the query half nothing, which is where the per-query cost
+// drops below one round — and AnswersMatch records that the sim and
+// parallel backends answered the identical stream bit-identically
+// (checkBaseline gates it outright).
+type treedpRow struct {
+	Name             string  `json:"name"` // workload generator: uniform | powerlaw
+	K                int     `json:"k"`
+	Backend          string  `json:"backend"`
+	Ops              int     `json:"ops"`
+	Updates          int     `json:"updates"`
+	DPQueries        int     `json:"dp_queries"`
+	RoundsPerOp      float64 `json:"rounds_per_op"`
+	DPRoundsPerQuery float64 `json:"dp_rounds_per_query"`
+	NsPerOp          float64 `json:"ns_per_op"`
+	MakespanNs       int64   `json:"makespan_ns"`
+	AnswersMatch     bool    `json:"answers_match"`
+}
+
+// treeDPOps builds the -treedp op stream: the generator's structural
+// churn (uniform random, or the preferential-attachment power-law tail)
+// interleaved with vertex-weight writes and one DP read per update,
+// cycling SubtreeSum / PathSum / TreeTop so every orchestration shape is
+// on the bill. Deterministic for a fixed seed, so the sim and parallel
+// cells — and the committed snapshot — all measure the identical stream.
+func treeDPOps(n, nUpdates int, gen string, seed int64) []graph.Op {
+	rng := rand.New(rand.NewSource(seed + 700))
+	var ups []graph.Update
+	if gen == "powerlaw" {
+		ups = graph.PrefAttachStream(n, nUpdates, 0.3, rng)
+	} else {
+		ups = graph.RandomStream(n, nUpdates, 0.45, 1, rng)
+	}
+	ops := make([]graph.Op, 0, 3*len(ups))
+	for q, up := range ups {
+		ops = append(ops, graph.OpUpdate(up))
+		if rng.Intn(2) == 0 {
+			ops = append(ops, graph.OpSetW(rng.Intn(n), graph.Weight(rng.Intn(100))))
+		}
+		u, v := rng.Intn(n), rng.Intn(n)
+		switch q % 3 {
+		case 0:
+			ops = append(ops, graph.OpQSubtreeSum(v, u))
+		case 1:
+			ops = append(ops, graph.OpQPathSum(u, v))
+		case 2:
+			ops = append(ops, graph.OpQTreeTop(u))
+		}
+	}
+	return ops
+}
+
+// measureTreeDP runs one backend over the chunked stream on a fresh
+// instance, returning the row and the positional answers (for the
+// cross-backend equality bit). Construction sits outside the clock.
+func measureTreeDP(gen string, ops []graph.Op, n, k int, be mpc.BackendKind) (treedpRow, graph.Results) {
+	runtime.GC()
+	d := dyncon.New(dyncon.Config{N: n, Mode: dyncon.CC, ExpectedEdges: 6 * n, Backend: be, Workers: benchWorkers})
+	defer d.Close()
+	var res graph.Results
+	var rounds, qrounds, updates int
+	start := time.Now()
+	for _, chunk := range graph.SplitOps(ops, k) {
+		r, st := d.ApplyOps(chunk)
+		res = append(res, r...)
+		rounds += st.Rounds()
+		qrounds += st.Queries.Rounds
+		updates += st.Updates.Updates
+	}
+	elapsed := time.Since(start).Nanoseconds()
+	_, nq := graph.CountOps(ops)
+	row := treedpRow{
+		Name: gen, K: k, Backend: be.String(),
+		Ops: len(ops), Updates: updates, DPQueries: nq,
+		MakespanNs: elapsed,
+	}
+	if len(ops) > 0 {
+		row.RoundsPerOp = float64(rounds) / float64(len(ops))
+		row.NsPerOp = float64(elapsed) / float64(len(ops))
+	}
+	if nq > 0 {
+		row.DPRoundsPerQuery = float64(qrounds) / float64(nq)
+	}
+	return row, res
+}
+
+// treedpTable measures both workload generators at k in {8, 64, 256} on
+// both backends, pinning cross-backend answer equality per cell pair.
+func treedpTable(n, nUpdates int, seed int64) []treedpRow {
+	var rows []treedpRow
+	for _, gen := range []string{"uniform", "powerlaw"} {
+		ops := treeDPOps(n, nUpdates, gen, seed)
+		for _, k := range []int{8, 64, 256} {
+			simRow, simRes := measureTreeDP(gen, ops, n, k, mpc.BackendSim)
+			parRow, parRes := measureTreeDP(gen, ops, n, k, mpc.BackendParallel)
+			match := len(simRes) == len(parRes)
+			for i := 0; match && i < len(simRes); i++ {
+				match = simRes[i] == parRes[i]
+			}
+			simRow.AnswersMatch = match
+			parRow.AnswersMatch = match
+			rows = append(rows, simRow, parRow)
+		}
+	}
+	return rows
+}
+
+func printTreeDPTable(rows []treedpRow) {
+	fmt.Println("\nTree-DP workload: mixed link/cut/weight/DP-query streams (SubtreeSum, PathSum, TreeTop):")
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "Workload\tk\tbackend\tops\tDP reads\trounds/op\tDP rounds/query\tns/op\tanswers match\n")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%d\t%s\t%d\t%d\t%.3f\t%.3f\t%.0f\t%v\n",
+			r.Name, r.K, r.Backend, r.Ops, r.DPQueries, r.RoundsPerOp, r.DPRoundsPerQuery, r.NsPerOp, r.AnswersMatch)
+	}
+	w.Flush()
+	fmt.Println("(DP rounds/query bills the query-half rounds to the stream's DP reads; reads")
+	fmt.Println(" that ride an update wave bill nothing, which pushes the amortized cost below")
+	fmt.Println(" one round per query at k >= 64 on the uniform workload. The power-law rows")
+	fmt.Println(" stay higher by design: nearly every op touches the preferential-attachment")
+	fmt.Println(" giant component, and a read ordered between two writes of its own component")
+	fmt.Println(" cannot share their waves — that is the snapshot-consistency contract)")
+}

@@ -41,6 +41,24 @@
 // which is where mixed workloads beat the split read/write paths (see
 // cmd/dmpcbench -mixed and BENCH_0005.json).
 //
+// # Tree-DP queries
+//
+// The §5 structures additionally maintain vertex weights and answer
+// tree-aggregate reads over the maintained spanning forest, entirely on
+// the Euler-tour machinery: SetWeight writes a vertex weight, QSubtreeSum
+// sums the subtree of u when its tree is rooted at r, QPathSum sums the
+// u–v tree path, and QTreeTop names a component's heaviest vertex. Every
+// machine holds, per weighted vertex it owns, one tour-position anchor
+// repaired by the same O(1)-word Shift descriptors that links and cuts
+// already broadcast, so a query is a constant-round broadcast of an
+// interval (or path) predicate answered with one partial sum per machine
+// (DESIGN.md §2e). DP reads ride the same waves as every other read, so
+// mixed link/cut/weight/query streams amortize below one round per query
+// (cmd/dmpcbench -treedp, BENCH_0010.json); the FuzzTreeDPEquivalence
+// harness pins answers bit-identical to sequential replay and to a
+// tour-free oracle on both backends. See examples/orgchart for a worked
+// rollup workload.
+//
 // # Streaming ingestion
 //
 // When ops arrive over time rather than as a prepared slice, the Ingestor
@@ -124,7 +142,8 @@ type (
 	// OpKind classifies an Op.
 	OpKind = graph.OpKind
 	// Answer is one query's result (Bool for OpConnected/OpMatched, Int
-	// for OpComponentOf/OpMateOf).
+	// for OpComponentOf/OpMateOf and the tree-DP reads OpSubtreeSum,
+	// OpPathSum and OpTreeTop).
 	Answer = graph.Answer
 	// Results holds one Answer per query op of a stream, in stream order.
 	Results = graph.Results
@@ -223,10 +242,14 @@ const (
 
 	OpInsert      = graph.OpInsert
 	OpDelete      = graph.OpDelete
+	OpSetWeight   = graph.OpSetWeight
 	OpConnected   = graph.OpConnected
 	OpComponentOf = graph.OpComponentOf
 	OpMateOf      = graph.OpMateOf
 	OpMatched     = graph.OpMatched
+	OpSubtreeSum  = graph.OpSubtreeSum
+	OpPathSum     = graph.OpPathSum
+	OpTreeTop     = graph.OpTreeTop
 )
 
 // Op constructors, re-exported for workload building.
@@ -243,6 +266,14 @@ var (
 	OpQMateOf = graph.OpQMateOf
 	// OpQMatched returns a matched-edge query op.
 	OpQMatched = graph.OpQMatched
+	// OpSetW returns a vertex-weight write op.
+	OpSetW = graph.OpSetW
+	// OpQSubtreeSum returns a subtree-aggregate query op.
+	OpQSubtreeSum = graph.OpQSubtreeSum
+	// OpQPathSum returns a tree-path-aggregate query op.
+	OpQPathSum = graph.OpQPathSum
+	// OpQTreeTop returns a component-argmax query op.
+	OpQTreeTop = graph.OpQTreeTop
 	// OpOf lifts a legacy Update into an Op.
 	OpOf = graph.OpUpdate
 	// UpdateOps lifts a write-only Batch into an op stream.
@@ -276,6 +307,27 @@ func QMateOf(v int) Op { return graph.OpQMateOf(v) }
 
 // QMatched returns a matched-edge query op: is (u,v) in the matching?
 func QMatched(u, v int) Op { return graph.OpQMatched(u, v) }
+
+// SetWeight returns a vertex-weight write op: assign weight w to vertex
+// v (weights default to 0; the write is an update, not a read, and
+// orders against structural ops on v's component).
+func SetWeight(v int, w Weight) Op { return graph.OpSetW(v, w) }
+
+// QSubtreeSum returns a subtree-aggregate query op: the weight sum over
+// the subtree of u when u's tree in the maintained forest is rooted at
+// r. When r == u — or r lies in another component — the subtree is u's
+// whole component.
+func QSubtreeSum(r, u int) Op { return graph.OpQSubtreeSum(r, u) }
+
+// QPathSum returns a tree-path-aggregate query op: the weight sum along
+// the u–v path of the maintained forest, endpoints included (0 when u
+// and v are disconnected).
+func QPathSum(u, v int) Op { return graph.OpQPathSum(u, v) }
+
+// QTreeTop returns a component-argmax query op: the id of the heaviest
+// vertex of u's component (smallest id on ties; every vertex counts, at
+// weight 0 when never written).
+func QTreeTop(u int) Op { return graph.OpQTreeTop(u) }
 
 // Chunk splits an update stream into consecutive batches of at most k
 // updates, preserving order.
@@ -422,6 +474,11 @@ func (c *Connectivity) ComponentOf(v int) int64 { return c.pipe.componentOf(v) }
 // the protocol query.
 func (c *Connectivity) CompOf(v int) int64 { return c.d.CompOf(v) }
 
+// WeightOf returns v's vertex weight by driver-side oracle access —
+// validation only, no protocol accounting. Weights are written with
+// SetWeight ops and read in aggregate by the tree-DP queries.
+func (c *Connectivity) WeightOf(v int) int64 { return c.d.WeightOf(v) }
+
 // MST maintains a (1+ε)-approximate minimum spanning forest (§5.1); eps 0
 // maintains an exact MSF.
 type MST struct {
@@ -455,6 +512,10 @@ func (m *MST) Weight() Weight { return m.d.ForestWeight() }
 // ForestEdges returns the maintained forest (driver-side oracle access;
 // validation only).
 func (m *MST) ForestEdges() []graph.WEdge { return m.d.ForestEdges() }
+
+// WeightOf returns v's vertex weight by driver-side oracle access —
+// validation only, no protocol accounting.
+func (m *MST) WeightOf(v int) int64 { return m.d.WeightOf(v) }
 
 // Connected answers connectivity through the cluster.
 //

@@ -88,6 +88,20 @@ func main() {
 	fmt.Printf("two tenants: reader p99 %d rounds over %d ops; writer admitted %d, rejected %d\n",
 		tst.Tenants[1].P99(), tst.Tenants[1].Ops, tst.Tenants[2].Ops, tst.Tenants[2].Rejected)
 
+	// Tree-DP reads on the same pipeline: weight the vertices and ask
+	// aggregates over the maintained forest — the subtree sum under 25
+	// with the chain rooted at 0, the 10..20 path sum, the heaviest
+	// vertex of 0's component. Constant rounds each, like every read
+	// (see examples/orgchart for a full workload).
+	var wops []dmpc.Op
+	for i := 0; i < 50; i++ {
+		wops = append(wops, dmpc.SetWeight(i, dmpc.Weight(i)))
+	}
+	wops = append(wops, dmpc.QSubtreeSum(0, 25), dmpc.QPathSum(10, 20), dmpc.QTreeTop(0))
+	dres, _ := cc.Apply(wops)
+	fmt.Printf("tree DP: subtree(25) sums %d, path 10-20 sums %d, heaviest in 0's tree is %d\n",
+		dres[0].Int, dres[1].Int, dres[2].Int)
+
 	r, a, w := cc.Cluster().Stats().MeanBatch()
 	fmt.Printf("whole run: %.2f rounds/update, %.1f machines/round, %.1f words/round on average\n", r, a, w)
 }

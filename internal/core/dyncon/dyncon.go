@@ -37,6 +37,13 @@
 // edge lies on the x..y path iff its child interval contains exactly one
 // of f(x), f(y), so every machine can evaluate its own records against the
 // broadcast f values and report a local maximum.
+//
+// The tree-DP layer (internal/treedp, wired in treedp.go) extends the
+// same machinery to vertex-weight aggregates: OpSetWeight installs a
+// per-vertex weight record anchored at an arbitrary tour appearance,
+// repaired by the very Shift descriptors links and cuts already
+// broadcast, and OpSubtreeSum / OpPathSum / OpTreeTop ride ApplyOps
+// waves as broadcast-predicate/gather queries over those anchors.
 package dyncon
 
 import (
@@ -196,8 +203,9 @@ func (d *D) inject(up graph.Update, seq int64) {
 	})
 }
 
-// ApplyOps processes a mixed op stream — updates *and* typed reads
-// (OpConnected, OpComponentOf) — through one scheduled pipeline in a
+// ApplyOps processes a mixed op stream — updates (edge and vertex-weight
+// writes) *and* typed reads (OpConnected, OpComponentOf, OpSubtreeSum,
+// OpPathSum, OpTreeTop) — through one scheduled pipeline in a
 // single mixed round-accounting window (mpc.MixedStats). Each pending
 // op's resources are read driver-side and handed to the shared wave
 // scheduler (internal/sched):
@@ -298,6 +306,14 @@ func (d *D) ApplyOps(ops []graph.Op) (graph.Results, mpc.MixedStats) {
 			}
 			delete(sh.compResults, ids[i])
 			res = append(res, graph.Answer{Int: c})
+		case graph.OpSubtreeSum, graph.OpPathSum, graph.OpTreeTop:
+			sh := d.shards[d.owner(op.U)]
+			v, ok := sh.dpResults[ids[i]]
+			if !ok {
+				panic(fmt.Sprintf("dyncon: in-wave query %v produced no result", op))
+			}
+			delete(sh.dpResults, ids[i])
+			res = append(res, graph.Answer{Int: v})
 		}
 	}
 	return res, st
@@ -324,8 +340,39 @@ func (d *D) StreamItem(op graph.Op) sched.Item {
 			Shared: []sched.Claim{{Key: int64(d.owner(op.U)), Cost: 4}},
 			Tenant: op.Tenant,
 		}
+	case graph.OpSubtreeSum:
+		// DP queries broadcast one Span/predicate descriptor and gather µ
+		// one-word partials; they read both observed components (the
+		// subtree degenerates to u's whole component when the root sits
+		// elsewhere, so the answer depends on V's label too).
+		return sched.Item{
+			Read:   []int64{d.CompOf(op.U), d.CompOf(op.V)},
+			Shared: []sched.Claim{{Key: int64(d.owner(op.U)), Cost: 8*len(d.shards) + 16}},
+			Tenant: op.Tenant,
+		}
+	case graph.OpPathSum:
+		return sched.Item{
+			Read:   []int64{d.CompOf(op.U), d.CompOf(op.V)},
+			Shared: []sched.Claim{{Key: int64(d.owner(op.U)), Cost: 6*len(d.shards) + 16}},
+			Tenant: op.Tenant,
+		}
+	case graph.OpTreeTop:
+		return sched.Item{
+			Read:   []int64{d.CompOf(op.U)},
+			Shared: []sched.Claim{{Key: int64(d.owner(op.U)), Cost: 5*len(d.shards) + 8}},
+			Tenant: op.Tenant,
+		}
 	case graph.OpMateOf, graph.OpMatched:
 		panic(fmt.Sprintf("dyncon: unsupported query kind %v (connectivity answers OpConnected and OpComponentOf)", op.Kind))
+	case graph.OpSetWeight:
+		// A vertex-weight write: purely local at the owner, but it must
+		// stay ordered against structural updates and DP reads of the
+		// same component, hence the exclusive component claim.
+		return sched.Item{
+			Excl:   []int64{d.CompOf(op.U)},
+			Shared: []sched.Claim{{Key: int64(d.owner(op.U)), Cost: 4}},
+			Tenant: op.Tenant,
+		}
 	}
 	up := op.Update()
 	cost := 32 // info/size requests and non-tree record traffic, all O(1) words
@@ -395,6 +442,22 @@ func (d *D) runOpWave(ops []graph.Op, ids []int64, wave []int, mt bool) {
 				From: -1, To: d.owner(op.U),
 				Payload: wire{Kind: kCompQuery, V: int32(op.U), Seq: ids[i]},
 				Words:   3,
+			})
+		case graph.OpSubtreeSum, graph.OpPathSum, graph.OpTreeTop:
+			msg := wire{Kind: kDPSubtree, U: int32(op.U), V: int32(op.V), Seq: ids[i]}
+			words := 5
+			switch op.Kind {
+			case graph.OpPathSum:
+				msg.Kind = kDPPath
+			case graph.OpTreeTop:
+				msg.Kind, msg.V, words = kDPTop, 0, 4
+			}
+			d.cluster.Send(mpc.Message{From: -1, To: d.owner(op.U), Payload: msg, Words: words})
+		case graph.OpSetWeight:
+			d.cluster.Send(mpc.Message{
+				From: -1, To: d.owner(op.U),
+				Payload: wire{Kind: kSetWeight, U: int32(op.U), W: int64(op.W), Seq: ids[i]},
+				Words:   4,
 			})
 		case graph.OpMateOf, graph.OpMatched:
 			panic(fmt.Sprintf("dyncon: unsupported query kind %v (connectivity answers OpConnected and OpComponentOf)", op.Kind))
@@ -755,5 +818,44 @@ func (d *D) Validate() error {
 			}
 		}
 	}
+
+	// Weight partials (tree DP): each record lives at its vertex's owner
+	// only, mirrors the vertex's live component label, and anchors a
+	// genuine surviving tour appearance — 0 exactly for singletons. Like
+	// the compVerts rule, this is mirrored-by-construction state, so
+	// every perm/fuzz suite calling Validate exercises the Shift repair
+	// rule for free.
+	for _, sh := range d.shards {
+		for v, rec := range sh.weights {
+			if d.owner(int(v)) != sh.id {
+				return fmt.Errorf("weight record for %d held by machine %d, owner is %d", v, sh.id, d.owner(int(v)))
+			}
+			c := d.CompOf(int(v))
+			if rec.Comp != c {
+				return fmt.Errorf("weight record for %d: component %d, verts says %d", v, rec.Comp, c)
+			}
+			if counts[c] == 1 {
+				if rec.Anchor != 0 {
+					return fmt.Errorf("weight record for singleton %d: anchor %d, want 0", v, rec.Anchor)
+				}
+				continue
+			}
+			if rec.Anchor == 0 {
+				return fmt.Errorf("weight record for %d: lingering singleton anchor", v)
+			}
+			if !appear[c][int(v)][rec.Anchor] {
+				return fmt.Errorf("weight record for %d: anchor %d is not an appearance", v, rec.Anchor)
+			}
+		}
+	}
 	return nil
+}
+
+// WeightOf returns v's tree-DP weight by inspecting the shard directly —
+// driver-side oracle access for validation (0 when never set).
+func (d *D) WeightOf(v int) int64 {
+	if rec, ok := d.shards[d.owner(v)].weights[int32(v)]; ok {
+		return rec.W
+	}
+	return 0
 }

@@ -7,6 +7,7 @@ import (
 	"dmpc/internal/etour"
 	"dmpc/internal/graph"
 	"dmpc/internal/mpc"
+	"dmpc/internal/treedp"
 )
 
 // Message kinds of the §5 protocol.
@@ -30,6 +31,20 @@ const (
 	kCompQuery               // external component query at owner(v)
 	kIntervalReq             // orchestrator -> record owner: child interval of a tree edge
 	kIntervalRep
+	kSetWeight // external vertex-weight write at owner(v) (tree DP)
+	kDPSubtree // external subtree-sum query at owner(u)
+	kDPPath    // external path-sum query at owner(u)
+	kDPTop     // external tree-top query at owner(u)
+	// kDPInfoReq mirrors kInfoReq for the DP orchestrations, which key
+	// their pending state by query id — numerically overlapping the
+	// update seq space — so the reply must route to qpend, never pend.
+	kDPInfoReq
+	kDPInfoRep
+	kDPSumReq  // broadcast: sum weight records matching Span in Comp
+	kDPSumRep  // machine -> DP orchestrator: one partial sum
+	kDPPathReq // broadcast: sum weights on the au..av tree path in Comp
+	kDPTopReq  // broadcast: local weight argmax over Comp's owned vertices
+	kDPTopRep  // machine -> DP orchestrator: local argmax candidate
 )
 
 // wire is the single message payload of the protocol; Kind selects which
@@ -50,6 +65,7 @@ type wire struct {
 	RestSize    int
 	Shifts      []etour.Shift
 	Pos         etour.EdgePos
+	Span        treedp.Span
 	AnchorU     int
 	AnchorV     int
 	Promote     bool
@@ -149,6 +165,15 @@ type shard struct {
 	compResults  map[int64]int64 // component answers, gathered driver-side
 	pend         map[int64]*pending
 	qcomp        map[int64]int64 // in-flight query: seq -> comp(u)
+
+	// Tree-DP state (internal/treedp): one weight record per owned
+	// weighted vertex, repaired on every link/cut broadcast; DP query
+	// orchestration state and answers, keyed by query id. qpend is
+	// deliberately separate from pend: query ids and update seqs are
+	// drawn from distinct counters that overlap numerically.
+	weights   map[int32]*treedp.Rec
+	qpend     map[int64]*dpPending
+	dpResults map[int64]int64 // DP answers, gathered driver-side
 }
 
 func newShard(id, mu int, cfg Config) *shard {
@@ -163,6 +188,9 @@ func newShard(id, mu int, cfg Config) *shard {
 		compResults:  make(map[int64]int64),
 		pend:         make(map[int64]*pending),
 		qcomp:        make(map[int64]int64),
+		weights:      make(map[int32]*treedp.Rec),
+		qpend:        make(map[int64]*dpPending),
+		dpResults:    make(map[int64]int64),
 	}
 }
 
@@ -170,7 +198,7 @@ func (s *shard) owner(v int32) int         { return int(v) % s.mu }
 func (s *shard) registry(comp int64) int32 { return int32(comp % int64(s.mu)) }
 
 func (s *shard) MemWords() int {
-	return 2*len(s.verts) + 7*len(s.tree) + 7*len(s.nontree) + 2*len(s.sizes)
+	return 2*len(s.verts) + 7*len(s.tree) + 7*len(s.nontree) + 2*len(s.sizes) + 4*len(s.weights)
 }
 
 // flOf computes f(v), l(v) from the locally stored tree records — the
@@ -286,6 +314,32 @@ func (s *shard) HandleRound(ctx *mpc.Ctx, inbox []mpc.Message) {
 			s.onIntervalReq(ctx, w)
 		case kIntervalRep:
 			s.onIntervalRep(ctx, w)
+		case kSetWeight:
+			s.onSetWeight(w)
+		case kDPSubtree:
+			s.onDPSubtree(ctx, w)
+		case kDPPath:
+			s.onDPPath(ctx, w)
+		case kDPTop:
+			s.onDPTop(ctx, w)
+		case kDPInfoReq:
+			f, l := s.flOf(w.U)
+			ctx.Send(int(w.ReplyTo), wire{
+				Kind: kDPInfoRep, U: w.U, Seq: w.Seq,
+				Comp: s.verts[w.U], F: f, L: l,
+			}, 7)
+		case kDPInfoRep:
+			s.onDPInfo(ctx, w)
+		case kDPSumReq:
+			s.onDPSumReq(ctx, w)
+		case kDPSumRep:
+			s.onDPSumRep(w)
+		case kDPPathReq:
+			s.onDPPathReq(ctx, w)
+		case kDPTopReq:
+			s.onDPTopReq(ctx, w)
+		case kDPTopRep:
+			s.onDPTopRep(w)
 		}
 	}
 }
@@ -493,6 +547,13 @@ func (s *shard) onDoCut(ctx *mpc.Ctx, w wire) {
 	for _, rec := range s.nontree {
 		rec.aU, rec.cU = applyChain(w.Shifts, rec.aU, rec.cU)
 		rec.aV, rec.cV = applyChain(w.Shifts, rec.aV, rec.cV)
+	}
+	// Weight records repair under the identical rule: the cut-repair
+	// shift remaps anchors sitting on the four removed positions onto
+	// surviving appearances (or 0 + the fresh component for a cut-off
+	// singleton), and the sub/rest shifts renumber the rest.
+	for _, rec := range s.weights {
+		rec.ApplyShifts(w.Shifts)
 	}
 	// Named endpoints: the child (whose interval was [fy,ly] pre-cut) is
 	// the endpoint appearing at fy on the captured record. Resolved before
@@ -787,6 +848,22 @@ func (s *shard) onDoLink(ctx *mpc.Ctx, w wire) {
 			} else if int32(ge.V) == w.V && rec.cV == compY {
 				rec.aV, rec.cV = w.Q+2, compX
 			}
+		}
+	}
+	// Weight records: same shift chain, same named-endpoint healing for
+	// singleton anchors (a singleton component is only ever linked
+	// through its own vertex, so the link names it).
+	for _, rec := range s.weights {
+		rec.ApplyShifts(w.Shifts)
+	}
+	for v, rec := range s.weights {
+		if rec.Anchor != 0 {
+			continue
+		}
+		if v == w.U && rec.Comp == compX {
+			rec.Anchor = w.Q + 1
+		} else if v == w.V && rec.Comp == compY {
+			rec.Anchor, rec.Comp = w.Q+2, compX
 		}
 	}
 	// Guest vertices adopt the host's label; the compVerts inverse index

@@ -41,7 +41,9 @@ func FuzzStream(data []byte, n int, maxW Weight) []Update {
 // bits choose between an update (0, 1: decoded exactly like FuzzStream so
 // update-only prefixes stay byte-compatible with the batch harnesses) and
 // a query drawn from qkinds (2, 3), keeping roughly half of every random
-// stream reads. Callers whose update contract requires well-formedness
+// stream reads. qkinds may include OpSetWeight, in which case the drawn
+// op is a vertex-weight write (U, W = third byte mod maxW+1) instead of a
+// read. Callers whose update contract requires well-formedness
 // (dmm) set wellFormed, which filters the interleaved updates through the
 // FuzzStreamWellFormed rules while queries pass through untouched at their
 // stream positions.
@@ -80,8 +82,21 @@ func fuzzOps(data []byte, stride, n int, maxW Weight, qkinds []OpKind, wellForme
 		switch sel & 3 {
 		case 2, 3:
 			k := qkinds[int(sel>>2)%len(qkinds)]
-			if k == OpComponentOf || k == OpMateOf {
+			if k == OpSetWeight {
+				// A vertex-weight write drawn from the kind list: not
+				// a query, but it rides the query selector so harnesses
+				// opting in get weight churn interleaved with reads.
+				emit(Op{Kind: OpSetWeight, U: u, W: Weight(b2) % (maxW + 1)}, i)
+				continue
+			}
+			if k == OpComponentOf || k == OpMateOf || k == OpTreeTop {
 				v = 0
+			}
+			if k == OpSubtreeSum || k == OpPathSum {
+				// Undo the self-loop bump: rooting a subtree query at u
+				// itself and the trivial u-u path are both legal and have
+				// dedicated fast paths worth fuzzing.
+				v = int(b2) % n
 			}
 			emit(Op{Kind: k, U: u, V: v}, i)
 			continue

@@ -124,6 +124,74 @@ func PrefAttach(n, k int, rng *rand.Rand) *Graph {
 	return g
 }
 
+// PrefAttachStream returns a well-formed update stream with
+// preferential-attachment skew: inserts choose their existing endpoint
+// degree-proportionally (the endpoint-pool trick of PrefAttach), so a few
+// hub vertices accumulate most of the edges, and roughly delFrac of the
+// stream deletes a uniformly chosen present edge. The result is the
+// power-law *churn* workload — hubs keep getting hit — as opposed to
+// PrefAttach's static power-law snapshot; RandomStream is its
+// uniform-skew counterpart.
+func PrefAttachStream(n, length int, delFrac float64, rng *rand.Rand) []Update {
+	g := New(n)
+	updates := make([]Update, 0, length)
+	present := make([]Edge, 0, length)
+	pos := make(map[Edge]int)
+	// Seed the pool with every vertex once so isolated vertices stay
+	// reachable as attachment targets; each inserted edge then adds both
+	// endpoints, making pool draws degree-proportional (plus one).
+	pool := make([]int, n)
+	for v := range pool {
+		pool[v] = v
+	}
+	for len(updates) < length {
+		if delFrac > 0 && len(present) > 0 && rng.Float64() < delFrac {
+			i := rng.Intn(len(present))
+			e := present[i]
+			last := len(present) - 1
+			present[i] = present[last]
+			pos[present[i]] = i
+			present = present[:last]
+			delete(pos, e)
+			g.Delete(e.U, e.V)
+			updates = append(updates, Update{Op: Delete, U: e.U, V: e.V})
+			continue
+		}
+		inserted := false
+		for t := 0; t < 50 && !inserted; t++ {
+			u := pool[rng.Intn(len(pool))]
+			v := rng.Intn(n)
+			if u == v || g.Has(u, v) {
+				continue
+			}
+			g.Insert(u, v, 1)
+			e := NormEdge(u, v)
+			pos[e] = len(present)
+			present = append(present, e)
+			pool = append(pool, u, v)
+			updates = append(updates, Update{Op: Insert, U: u, V: v, W: 1})
+			inserted = true
+		}
+		if !inserted {
+			// Dense corner: fall back to deleting so the stream always
+			// reaches its length.
+			if len(present) == 0 {
+				break
+			}
+			i := rng.Intn(len(present))
+			e := present[i]
+			last := len(present) - 1
+			present[i] = present[last]
+			pos[present[i]] = i
+			present = present[:last]
+			delete(pos, e)
+			g.Delete(e.U, e.V)
+			updates = append(updates, Update{Op: Delete, U: e.U, V: e.V})
+		}
+	}
+	return updates
+}
+
 // CompleteBipartite returns K_{a,b}: vertices 0..a-1 on one side and
 // a..a+b-1 on the other.
 func CompleteBipartite(a, b int) *Graph {

@@ -16,6 +16,11 @@ const (
 	OpInsert OpKind = iota
 	// OpDelete removes an edge.
 	OpDelete
+	// OpSetWeight assigns vertex U the weight W (dyncon tree DP). A
+	// write-side op like OpInsert/OpDelete — it mutates state and
+	// produces no Answer — but it carries no edge, so it has no legacy
+	// Update form.
+	OpSetWeight
 	// OpConnected asks whether U and V are in one component (dyncon).
 	OpConnected
 	// OpComponentOf asks for U's component label (dyncon).
@@ -24,6 +29,18 @@ const (
 	OpMateOf
 	// OpMatched asks whether edge (U,V) is in the matching (dmm, amm).
 	OpMatched
+	// OpSubtreeSum asks for the sum of vertex weights over the subtree
+	// of U when U's tree is rooted at V (dyncon tree DP). When U and V
+	// are in different components — or U == V — the "subtree" is U's
+	// whole component.
+	OpSubtreeSum
+	// OpPathSum asks for the sum of vertex weights along the U–V tree
+	// path, endpoints included; 0 when U and V are disconnected (dyncon
+	// tree DP).
+	OpPathSum
+	// OpTreeTop asks for the heaviest vertex of U's component — the
+	// argmax of vertex weight, smallest id on ties (dyncon tree DP).
+	OpTreeTop
 )
 
 // IsQuery reports whether the kind is a read.
@@ -35,6 +52,8 @@ func (k OpKind) String() string {
 		return "insert"
 	case OpDelete:
 		return "delete"
+	case OpSetWeight:
+		return "set-weight"
 	case OpConnected:
 		return "connected?"
 	case OpComponentOf:
@@ -43,6 +62,12 @@ func (k OpKind) String() string {
 		return "mate-of?"
 	case OpMatched:
 		return "matched?"
+	case OpSubtreeSum:
+		return "subtree-sum?"
+	case OpPathSum:
+		return "path-sum?"
+	case OpTreeTop:
+		return "tree-top?"
 	}
 	return fmt.Sprintf("OpKind(%d)", int(k))
 }
@@ -66,13 +91,16 @@ func (o Op) IsQuery() bool { return o.Kind.IsQuery() }
 
 // Update converts a write op to the legacy Update form. It panics on a
 // query op: a read has no Update representation, and silently coercing one
-// would corrupt a replay.
+// would corrupt a replay. It also panics on OpSetWeight, which is a write
+// but touches a vertex, not an edge — there is no Update for it either.
 func (o Op) Update() Update {
 	switch o.Kind {
 	case OpInsert:
 		return Update{Op: Insert, U: o.U, V: o.V, W: o.W}
 	case OpDelete:
 		return Update{Op: Delete, U: o.U, V: o.V}
+	case OpSetWeight:
+		panic(fmt.Sprintf("graph: Op %v is a vertex-weight write, it has no edge-update form", o))
 	}
 	panic(fmt.Sprintf("graph: Op %v is a query, not an update", o))
 }
@@ -82,8 +110,12 @@ func (o Op) String() string {
 	switch o.Kind {
 	case OpInsert:
 		s = fmt.Sprintf("insert(%d,%d,w=%d)", o.U, o.V, o.W)
-	case OpComponentOf, OpMateOf:
+	case OpSetWeight:
+		s = fmt.Sprintf("set-weight(%d,w=%d)", o.U, o.W)
+	case OpComponentOf, OpMateOf, OpTreeTop:
 		s = fmt.Sprintf("%s(%d)", o.Kind, o.U)
+	case OpSubtreeSum:
+		s = fmt.Sprintf("subtree-sum?(%d,root=%d)", o.U, o.V)
 	default:
 		s = fmt.Sprintf("%s(%d,%d)", o.Kind, o.U, o.V)
 	}
@@ -130,6 +162,22 @@ func OpQMateOf(v int) Op { return Op{Kind: OpMateOf, U: v} }
 // OpQMatched returns a matched-edge query op.
 func OpQMatched(u, v int) Op { return Op{Kind: OpMatched, U: u, V: v} }
 
+// OpSetW returns a vertex-weight write op: set v's weight to w.
+func OpSetW(v int, w Weight) Op { return Op{Kind: OpSetWeight, U: v, W: w} }
+
+// OpQSubtreeSum returns a subtree-aggregate query op: the weight sum over
+// the subtree of u when u's tree is rooted at r (whole component when r
+// is not in u's tree, or r == u).
+func OpQSubtreeSum(r, u int) Op { return Op{Kind: OpSubtreeSum, U: u, V: r} }
+
+// OpQPathSum returns a path-aggregate query op: the weight sum along the
+// u–v tree path, endpoints included (0 when disconnected).
+func OpQPathSum(u, v int) Op { return Op{Kind: OpPathSum, U: u, V: v} }
+
+// OpQTreeTop returns a component-argmax query op: the heaviest vertex of
+// u's component, smallest id on ties.
+func OpQTreeTop(u int) Op { return Op{Kind: OpTreeTop, U: u} }
+
 // OpUpdate lifts a legacy Update into an Op.
 func OpUpdate(up Update) Op {
 	if up.Op == Insert {
@@ -149,7 +197,9 @@ func UpdateOps(b Batch) []Op {
 
 // Answer is one query's result; which field is meaningful depends on the
 // query kind: Bool answers OpConnected and OpMatched, Int answers
-// OpComponentOf (the component label) and OpMateOf (the mate, -1 = free).
+// OpComponentOf (the component label), OpMateOf (the mate, -1 = free),
+// OpSubtreeSum and OpPathSum (the weight sum), and OpTreeTop (the
+// heaviest vertex's id).
 // Rejected marks a query refused by a per-tenant admission policy before
 // it ran: Bool and Int are meaningless and the query observed no state —
 // the entry exists so Results stays positionally aligned with the query

@@ -1,0 +1,110 @@
+// Package treedp is the tree-DP layer over the §5 Euler-tour machinery:
+// mergeable per-vertex weights and tour-interval aggregates on dyncon's
+// spanning forest (subtree sums, path sums, component argmax), in the
+// spirit of Bateni et al., "Massively Parallel Dynamic Programming on
+// Trees" (arXiv:1809.03685).
+//
+// The key property it leans on: the tour interval [f(u), l(u)] contains
+// exactly the appearances of subtree(u)'s vertices, so ANY surviving
+// appearance of v tests subtree membership — anchor ∈ [f(u), l(u)] iff
+// v ∈ subtree(u). A distributed weight record therefore stores one
+// arbitrary appearance anchor per weighted vertex, maintained under
+// link/cut by the very same etour.Shift descriptors the connectivity
+// protocol already broadcasts (f(v) itself would NOT survive reroots:
+// min/max of appearances does not commute with tour rotation). Queries
+// then reduce to one broadcast predicate over the stored anchors:
+//
+//   - SubtreeSum(u, rooted at r) sums anchors inside [f(u), l(u)] — or
+//     the complement of the child-of-u-toward-r interval when r lies in
+//     u's current subtree, or the whole component when r is elsewhere.
+//   - PathSum(u, v) sums the vertices x whose interval [f(x), l(x)]
+//     contains exactly one of the endpoints' appearances, plus the LCA
+//     (both contained, but by no single child of x) — see OnPath.
+//   - TreeTop(u) is a plain argmax over the component's vertices.
+//
+// The package holds the shared pieces: the anchor record and its shift
+// repair rule, the broadcastable Span predicate, the OnPath predicate,
+// and the sequential Oracle the fuzz harnesses replay against.
+package treedp
+
+import "dmpc/internal/etour"
+
+// Rec is one weighted vertex's distributed record, held at the vertex's
+// owner machine: an arbitrary surviving tour appearance of the vertex
+// (0 while the vertex is a singleton), the component label that anchor
+// is valid in, and the weight. It repairs under the same broadcast
+// discipline as dyncon's non-tree anchors: ApplyShifts on every
+// link/cut descriptor, plus the named-endpoint healing rule for
+// singleton (anchor 0) records when their vertex is an endpoint of a
+// link.
+type Rec struct {
+	Anchor int
+	Comp   int64
+	W      int64
+}
+
+// ApplyShifts runs a broadcast shift chain over the record, honoring
+// per-shift component conditioning and relabeling — the aggregate-repair
+// rule on tour splice. Anchor 0 (singleton) is untouched: singletons are
+// repaired only by the named-endpoint rule of the link that absorbs
+// them, exactly like non-tree anchors.
+func (r *Rec) ApplyShifts(shifts []etour.Shift) {
+	if r.Anchor == 0 {
+		return
+	}
+	for _, sh := range shifts {
+		if r.Comp != sh.Comp {
+			continue
+		}
+		moved := sh.Moves(r.Anchor)
+		r.Anchor = sh.Apply(r.Anchor)
+		if moved {
+			r.Comp = sh.NewComp
+		}
+	}
+}
+
+// Span is the broadcastable aggregation predicate of a subtree query: a
+// tour-position interval, optionally inverted (everything in the
+// component OUTSIDE [Lo, Hi]), or the whole component (All). Each
+// machine applies Contains to the anchors of its records in the query's
+// component and replies one partial sum.
+type Span struct {
+	All    bool
+	Invert bool
+	Lo, Hi int
+}
+
+// Contains reports whether an anchor position satisfies the predicate.
+// An All span matches every record of the component, including anchor 0
+// (a singleton component's only vertex).
+func (s Span) Contains(anchor int) bool {
+	if s.All {
+		return true
+	}
+	in := anchor >= s.Lo && anchor <= s.Hi
+	if s.Invert {
+		return !in
+	}
+	return in
+}
+
+// Words is the descriptor's message size in machine words.
+func (s Span) Words() int { return 4 }
+
+// OnPath decides path membership from tour intervals alone: whether the
+// vertex with interval [f, l] lies on the tree path between the vertices
+// appearing at positions au and av. The ancestor test (f <= a <= l)
+// works with ANY appearance a of the endpoint; childBoth must report
+// whether one single child interval of the vertex contains both au and
+// av. A vertex on exactly one root-to-endpoint chain is on the path; a
+// common ancestor is on the path iff it is the LCA, i.e. no single child
+// subtree holds both endpoints.
+func OnPath(f, l, au, av int, childBoth bool) bool {
+	ancU := f <= au && au <= l
+	ancV := f <= av && av <= l
+	if ancU != ancV {
+		return true
+	}
+	return ancU && ancV && !childBoth
+}

@@ -1,0 +1,132 @@
+package treedp
+
+import (
+	"testing"
+
+	"dmpc/internal/etour"
+)
+
+func TestSpanContains(t *testing.T) {
+	cases := []struct {
+		s    Span
+		a    int
+		want bool
+	}{
+		{Span{All: true}, 0, true},
+		{Span{All: true}, 7, true},
+		{Span{Lo: 2, Hi: 5}, 2, true},
+		{Span{Lo: 2, Hi: 5}, 5, true},
+		{Span{Lo: 2, Hi: 5}, 6, false},
+		{Span{Lo: 2, Hi: 5}, 1, false},
+		{Span{Invert: true, Lo: 2, Hi: 5}, 3, false},
+		{Span{Invert: true, Lo: 2, Hi: 5}, 6, true},
+		{Span{Invert: true, Lo: 2, Hi: 5}, 1, true},
+	}
+	for _, c := range cases {
+		if got := c.s.Contains(c.a); got != c.want {
+			t.Errorf("%+v.Contains(%d) = %v, want %v", c.s, c.a, got, c.want)
+		}
+	}
+}
+
+// TestOnPath checks the predicate on the path tree 0-1-2 rooted at 0:
+// tour 0 1 1 2 2 1 1 0, so f/l = (1,8), (2,7), (4,5) and the child
+// interval of 1 toward 2 is [4,5].
+func TestOnPath(t *testing.T) {
+	f := []int{1, 2, 4}
+	l := []int{8, 7, 5}
+	// Path 0..2: all three vertices are on it. childBoth per vertex for
+	// endpoints (0,2): vertex 1's child interval [4,5] holds f(2)=4 but
+	// not f(0)=1, so childBoth=false everywhere on this query.
+	for v := 0; v < 3; v++ {
+		if !OnPath(f[v], l[v], f[0], l[2], false) {
+			t.Errorf("vertex %d should be on path 0-2", v)
+		}
+	}
+	// Path 2..2 (same endpoint twice): only vertex 2 is on it. Vertices
+	// 0 and 1 are ancestors of both copies, and a single child interval
+	// ([2,7] for 0, [4,5] for 1) holds both appearances -> childBoth.
+	if !OnPath(f[2], l[2], f[2], f[2], false) {
+		t.Error("vertex 2 should be on the trivial path 2-2")
+	}
+	for v := 0; v < 2; v++ {
+		if OnPath(f[v], l[v], f[2], f[2], true) {
+			t.Errorf("vertex %d should be off the trivial path 2-2", v)
+		}
+	}
+	// Path 1..2: vertex 0 is an ancestor of both, with child interval
+	// [2,7] holding both -> LCA test rejects it.
+	if OnPath(f[0], l[0], f[1], f[2], true) {
+		t.Error("vertex 0 should be off path 1-2")
+	}
+}
+
+func TestRecApplyShifts(t *testing.T) {
+	// A reroot of component 3 (tour length 8, pivot l(y)=7) moves
+	// position 2 to ((2-7+8) mod 8) + 1 = 4; a foreign-component shift
+	// must not touch the record; a LinkGuest relabels.
+	r := Rec{Anchor: 2, Comp: 3, W: 5}
+	r.ApplyShifts([]etour.Shift{{Kind: etour.ShiftReroot, Comp: 3, NewComp: 3, A: 8, B: 7}})
+	if r.Anchor != 4 || r.Comp != 3 {
+		t.Fatalf("reroot: got anchor %d comp %d, want 4 3", r.Anchor, r.Comp)
+	}
+	r.ApplyShifts([]etour.Shift{{Kind: etour.ShiftReroot, Comp: 9, NewComp: 9, A: 8, B: 7}})
+	if r.Anchor != 4 {
+		t.Fatalf("foreign-component shift moved the anchor to %d", r.Anchor)
+	}
+	r.ApplyShifts([]etour.Shift{{Kind: etour.ShiftLinkGuest, Comp: 3, NewComp: 11, A: 6}})
+	if r.Anchor != 4+6+2 || r.Comp != 11 {
+		t.Fatalf("link-guest: got anchor %d comp %d, want 12 11", r.Anchor, r.Comp)
+	}
+	// Singleton anchors are fixed points of every chain.
+	s := Rec{Anchor: 0, Comp: 11, W: 1}
+	s.ApplyShifts([]etour.Shift{{Kind: etour.ShiftLinkGuest, Comp: 11, NewComp: 12, A: 6}})
+	if s.Anchor != 0 || s.Comp != 11 {
+		t.Fatalf("singleton anchor moved: %+v", s)
+	}
+}
+
+func TestOracle(t *testing.T) {
+	// Forest: 0-1, 1-2, 1-3 (a star-ish tree) plus isolated 4.
+	adj := [][]int{{1}, {0, 2, 3}, {1}, {1}, {}}
+	o := NewOracle(5)
+	o.SetWeight(0, 1)
+	o.SetWeight(1, 10)
+	o.SetWeight(2, 100)
+	o.SetWeight(3, 1000)
+	o.SetWeight(4, 7)
+
+	if got := o.SubtreeSum(adj, 0, 1); got != 1110 {
+		t.Errorf("SubtreeSum(root 0, u 1) = %d, want 1110", got)
+	}
+	if got := o.SubtreeSum(adj, 2, 1); got != 1011 {
+		t.Errorf("SubtreeSum(root 2, u 1) = %d, want 1011", got)
+	}
+	if got := o.SubtreeSum(adj, 3, 3); got != 1111 {
+		t.Errorf("SubtreeSum(root=u=3) should be the whole component, got %d", got)
+	}
+	if got := o.SubtreeSum(adj, 4, 1); got != 1111 {
+		t.Errorf("SubtreeSum(disconnected root) should be the whole component, got %d", got)
+	}
+	if got := o.PathSum(adj, 0, 3); got != 1011 {
+		t.Errorf("PathSum(0,3) = %d, want 1011", got)
+	}
+	if got := o.PathSum(adj, 2, 2); got != 100 {
+		t.Errorf("PathSum(2,2) = %d, want 100", got)
+	}
+	if got := o.PathSum(adj, 0, 4); got != 0 {
+		t.Errorf("PathSum(disconnected) = %d, want 0", got)
+	}
+	if got := o.TreeTop(adj, 0); got != 3 {
+		t.Errorf("TreeTop(0) = %d, want 3", got)
+	}
+	if got := o.TreeTop(adj, 4); got != 4 {
+		t.Errorf("TreeTop(4) = %d, want 4", got)
+	}
+	// Tie: equal weights pick the smallest id.
+	o2 := NewOracle(3)
+	adj2 := [][]int{{1}, {0}, {}}
+	if got := o2.TreeTop(adj2, 1); got != 0 {
+		t.Errorf("TreeTop tie = %d, want 0", got)
+	}
+}
